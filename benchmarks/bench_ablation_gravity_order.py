@@ -1,0 +1,53 @@
+"""Ablation — multipole order: SPHYNX's 4-pole vs ChaNGa's 16-pole.
+
+Table 1 records the two gravity flavours; this bench quantifies the
+trade: accuracy against direct summation vs evaluation cost, across
+monopole / quadrupole / octupole / hexadecapole at fixed opening angle.
+Expected shape: errors fall monotonically with order, cost rises.
+"""
+
+import time
+
+import numpy as np
+
+from repro.gravity import barnes_hut_gravity, direct_gravity
+from repro.io.reporting import format_table
+
+ORDERS = {"monopole (2-pole)": 0, "quadrupole (4-pole)": 2,
+          "octupole (8-pole)": 3, "hexadecapole (16-pole)": 4}
+
+
+def _order_sweep(n=4000, theta=0.6):
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(n, 3))
+    x *= (1.0 / (1.0 + np.linalg.norm(x, axis=1)))[:, None]
+    m = rng.uniform(0.5, 1.5, n)
+    a_ref, _ = direct_gravity(x, m)
+    ref_norm = np.linalg.norm(a_ref, axis=1)
+    rows, errs, costs = [], [], []
+    for name, order in ORDERS.items():
+        t0 = time.perf_counter()
+        res = barnes_hut_gravity(x, m, theta=theta, order=order, leaf_size=32)
+        dt = time.perf_counter() - t0
+        err = float(np.mean(np.linalg.norm(res.acc - a_ref, axis=1) / ref_norm))
+        rows.append([name, f"{err:.2e}", f"{dt * 1e3:.0f}",
+                     f"{res.n_p2p}", f"{res.n_m2p}"])
+        errs.append(err)
+        costs.append(dt)
+    table = format_table(
+        ["multipole order", "mean rel acc error", "time [ms]", "P2P", "M2P"],
+        rows,
+        title=f"Ablation: gravity multipole order (theta={theta}, N={n})",
+    )
+    return errs, costs, table
+
+
+def test_ablation_gravity_order(benchmark, report):
+    errs, costs, table = benchmark.pedantic(_order_sweep, rounds=1, iterations=1)
+    report("ablation_gravity_order", table)
+    # Accuracy strictly improves with order...
+    assert errs[0] > errs[1] > errs[2] > errs[3]
+    # ...by more than an order of magnitude from 2-pole to 16-pole.
+    assert errs[0] / errs[3] > 10.0
+    # Hexadecapole costs more than monopole at the same theta.
+    assert costs[3] > costs[0]

@@ -1,0 +1,41 @@
+"""Extension — weak scaling (the paper's declared next step).
+
+"A factor that has not yet been explored is the weak scaling of these
+codes, which is usually the regime in which they operate in production
+runs.  This is part of ongoing analysis work."  (Section 5.2.)
+
+This bench performs that analysis on the calibrated model: fixed
+particles/core (the production regime), growing the problem with the
+machine, for SPHYNX and SPH-flow on the square test.  Expected shape:
+time/step stays far flatter than the strong-scaling curve at the same
+core counts, eroding slowly through collectives, halo surfaces and
+replicated work.
+"""
+
+from repro.core.presets import SPHFLOW, SPHYNX
+from repro.runtime.machine import PIZ_DAINT
+from repro.runtime.weak_scaling import weak_scaling
+
+CORES = (12, 24, 48, 96, 192)
+PER_CORE = 30_000
+
+
+def _sweep():
+    return [
+        weak_scaling(preset, "square", PIZ_DAINT, CORES,
+                     particles_per_core=PER_CORE, n_steps=1)
+        for preset in (SPHYNX, SPHFLOW)
+    ]
+
+
+def test_weak_scaling_extension(benchmark, report):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = "\n\n".join(s.report() for s in series)
+    report("weak_scaling", "Extension: weak scaling (Section 5.2 future work)\n\n" + text)
+    for s in series:
+        eff = s.weak_efficiency()
+        # Time per step must not blow up: the defining weak-scaling claim.
+        assert eff[-1] > 0.35, f"{s.code}: weak efficiency collapsed"
+        # And the curve is *much* flatter than strong scaling would be
+        # over the same 16x core growth (strong would approach eff ~ t0*c0/(t*c)).
+        assert s.times()[-1] < 3.0 * s.times()[0]

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Network-design study with a communication skeleton (Section 2).
+
+The paper's related-work section highlights skeleton applications —
+reduced programs that reproduce a full code's network traffic — as "a
+tool to study balanced Exascale interconnect designs".  This example
+extracts the communication skeleton of one modeled SPH-flow step at 768
+cores and replays it across a grid of hypothetical interconnects,
+separating compute from network time without re-running the application
+model.
+
+Run:  python examples/network_design_study.py
+"""
+
+from repro.core.presets import SPHFLOW
+from repro.io.reporting import format_table
+from repro.runtime import (
+    PIZ_DAINT,
+    ClusterModel,
+    NetworkSpec,
+    build_workload,
+    calibrate_kappa,
+    extract_skeleton,
+)
+
+CORES = 768
+N = 1_000_000
+
+
+def main() -> None:
+    print(f"extracting skeleton: SPH-flow / square / {N:,} particles / "
+          f"{CORES} cores ...")
+    workload = build_workload("square", N)
+    kappa = calibrate_kappa(SPHFLOW, workload)
+    model = ClusterModel(workload, SPHFLOW, PIZ_DAINT, CORES, kappa=kappa)
+    skeleton = extract_skeleton(model)
+    print(f"  {len(skeleton.ops)} ops: {skeleton.n_exchanges} halo "
+          f"exchange(s), {skeleton.n_collectives} collective(s), "
+          f"{skeleton.total_bytes() / 1e6:.1f} MB total halo volume")
+
+    # Compute-only baseline: an infinitely fast network.
+    ideal = NetworkSpec("ideal", latency=1e-300, bandwidth=1e300,
+                        topology="fat-tree")
+    compute_time = skeleton.replay(ideal)
+
+    rows = []
+    for latency_us in (0.5, 1.3, 5.0, 20.0):
+        for bw_gbs in (25.0, 10.0, 2.5):
+            net = NetworkSpec(
+                name=f"{latency_us}us/{bw_gbs}GBs",
+                latency=latency_us * 1e-6,
+                bandwidth=bw_gbs * 1e9,
+                topology="fat-tree",
+            )
+            t = skeleton.replay(net)
+            rows.append([
+                f"{latency_us:5.1f}", f"{bw_gbs:5.1f}",
+                f"{t:8.3f}", f"{t - compute_time:8.3f}",
+                f"{100 * (t - compute_time) / t:5.1f}%",
+            ])
+    print()
+    print(format_table(
+        ["latency [us]", "bandwidth [GB/s]", "step [s]", "network [s]",
+         "network share"],
+        rows,
+        title=(
+            f"Skeleton replay across interconnects "
+            f"(compute floor {compute_time:.3f} s/step)"
+        ),
+    ))
+    print(
+        "\nreading: even a 20x-worse fabric barely moves the step time — "
+        "the modeled SPH step\nis compute/ghost-bound, which is the "
+        "skeleton's way of showing what Section 5.2\nmeasured directly: "
+        "communication efficiency ~1, with load imbalance (not the\n"
+        "network) limiting scalability.  A skeleton sweep like this is "
+        "how one would test\nwhether a cheaper interconnect suffices for "
+        "an SPH-EXA deployment."
+    )
+
+
+if __name__ == "__main__":
+    main()

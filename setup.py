@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The target environment is offline and lacks the ``wheel`` package, so PEP
+517 editable installs fail with ``invalid command 'bdist_wheel'``.  Keeping
+a ``setup.py`` (and no ``[build-system]`` table) lets ``pip install -e .``
+fall back to ``setup.py develop``, which needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — SPH-EXA mini-app reproduction.
+
+A Python reproduction of "Towards a Mini-App for Smoothed Particle
+Hydrodynamics at Exascale" (Guerrera et al., CLUSTER 2018): the SPH-EXA
+mini-app specified by Tables 2 and 4, the three parent-code presets
+(SPHYNX, ChaNGa, SPH-flow), the two validation test cases (rotating
+square patch, Evrard collapse), and the substrates the evaluation needs —
+a simulated cluster with machine models of Piz Daint and MareNostrum 4,
+domain decomposition, dynamic load balancing, fault tolerance and
+Extrae-like tracing with POP metrics.
+
+Quick start::
+
+    from repro import make_square_patch, Simulation, SPHYNX, SquarePatchConfig
+
+    particles, box, eos = make_square_patch(SquarePatchConfig(side=20, layers=10))
+    sim = Simulation(particles, box, eos, config=SPHYNX)
+    sim.run(n_steps=5)
+    print(sim.conservation_drift())
+"""
+
+from .core import (
+    CHANGA,
+    PRESETS,
+    SPH_EXA,
+    SPHFLOW,
+    SPHYNX,
+    ConservationState,
+    ParticleSystem,
+    Phase,
+    Simulation,
+    SimulationConfig,
+    StepStats,
+    get_preset,
+    measure_conservation,
+    relative_drift,
+)
+from .ics import (
+    EvrardConfig,
+    SquarePatchConfig,
+    make_evrard,
+    make_square_patch,
+)
+from .kernels import available_kernels, make_kernel
+from .profiling import PopMetrics, State, Tracer, compute_pop_metrics, render_timeline
+from .tree import Box, NeighborList, Octree, cell_grid_search
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ParticleSystem",
+    "Simulation",
+    "SimulationConfig",
+    "StepStats",
+    "Phase",
+    "ConservationState",
+    "measure_conservation",
+    "relative_drift",
+    "SPHYNX",
+    "CHANGA",
+    "SPHFLOW",
+    "SPH_EXA",
+    "PRESETS",
+    "get_preset",
+    "EvrardConfig",
+    "SquarePatchConfig",
+    "make_evrard",
+    "make_square_patch",
+    "make_kernel",
+    "available_kernels",
+    "Box",
+    "NeighborList",
+    "Octree",
+    "cell_grid_search",
+    "Tracer",
+    "State",
+    "PopMetrics",
+    "compute_pop_metrics",
+    "render_timeline",
+]

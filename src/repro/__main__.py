@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mini-apps live or die by how easy they are to drive — "the building
+should be kept as simple as a Makefile and the preparation of the run to
+a handful of command line arguments" (Section 2, quoting Messer et al.).
+This CLI exposes the library's main entry points with exactly that
+surface.
+
+Commands::
+
+    python -m repro run squarepatch --side 16 --layers 8 --steps 5
+    python -m repro run evrard --n 3000 --steps 10 [--preset sphynx]
+    python -m repro scaling --code sph-flow --test square --n 200000
+    python -m repro tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core.presets import get_preset
+    from .core.simulation import Simulation
+    from .timestepping.criteria import TimestepParams
+
+    preset = get_preset(args.preset)
+    if args.case == "squarepatch":
+        from .ics.square_patch import SquarePatchConfig, make_square_patch
+
+        particles, box, eos = make_square_patch(
+            SquarePatchConfig(side=args.side, layers=args.layers)
+        )
+        config = preset.with_(
+            n_neighbors=args.neighbors,
+            timestep_params=TimestepParams(use_energy_criterion=False),
+        )
+    else:
+        from .ics.evrard import EvrardConfig, make_evrard
+
+        particles, box, eos = make_evrard(EvrardConfig(n_target=args.n))
+        config = preset.with_(n_neighbors=args.neighbors)
+    print(f"{args.case}: {particles.n} particles, preset {preset.label}")
+    sim = Simulation(particles, box, eos, config=config)
+    for _ in range(args.steps):
+        s = sim.step()
+        print(f"  step {s.index}: t={s.time:.4e} dt={s.dt:.2e} "
+              f"{s.conservation.summary()}")
+    drift = sim.conservation_drift()
+    print(f"drift: mass={drift['mass']:.2e} momentum={drift['momentum']:.2e} "
+          f"energy={drift['energy']:.2e}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .core.presets import get_preset
+    from .runtime import (
+        MACHINES,
+        build_workload,
+        format_scaling_table,
+        strong_scaling,
+    )
+
+    preset = get_preset(args.code)
+    workload = build_workload(args.test, args.n)
+    machine = MACHINES[args.machine]
+    cores = tuple(int(c) for c in args.cores.split(","))
+    series = strong_scaling(preset, args.test, machine, cores,
+                            workload=workload, n_steps=args.steps)
+    print(format_scaling_table([series]))
+    for p in series.points:
+        print(f"  {p.pop.row()}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .core.feature_tables import (
+        table1_physics_features,
+        table2_miniapp_features,
+        table3_cs_features,
+        table4_miniapp_cs_features,
+    )
+
+    for table in (
+        table1_physics_features(),
+        table2_miniapp_features(),
+        table3_cs_features(),
+        table4_miniapp_cs_features(),
+    ):
+        print(table)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SPH-EXA mini-app reproduction (CLUSTER 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a test-case simulation")
+    run.add_argument("case", choices=("squarepatch", "evrard"))
+    run.add_argument("--preset", default="sph-exa",
+                     help="sphynx | changa | sph-flow | sph-exa")
+    run.add_argument("--side", type=int, default=12)
+    run.add_argument("--layers", type=int, default=6)
+    run.add_argument("--n", type=int, default=2000)
+    run.add_argument("--steps", type=int, default=5)
+    run.add_argument("--neighbors", type=int, default=40)
+    run.set_defaults(func=_cmd_run)
+
+    scal = sub.add_parser("scaling", help="strong-scaling sweep (modeled)")
+    scal.add_argument("--code", default="sph-flow")
+    scal.add_argument("--test", default="square", choices=("square", "evrard"))
+    scal.add_argument("--machine", default="piz-daint",
+                      choices=("piz-daint", "marenostrum4"))
+    scal.add_argument("--n", type=int, default=200_000)
+    scal.add_argument("--steps", type=int, default=5)
+    scal.add_argument("--cores", default="12,24,48,96,192,384")
+    scal.set_defaults(func=_cmd_scaling)
+
+    tables = sub.add_parser("tables", help="print the Table 1-4 matrices")
+    tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

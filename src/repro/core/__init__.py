@@ -1,0 +1,31 @@
+"""Core of the mini-app: particles, configuration, Algorithm-1 driver.
+
+This package is the paper's primary contribution — the SPH-EXA mini-app
+skeleton: a structure-of-arrays particle set, the feature-axis
+configuration of Tables 1-4, the parent-code presets, the phase-labelled
+simulation loop of Algorithm 1 and the conservation ledger.
+"""
+
+from .config import SimulationConfig
+from .conservation import ConservationState, measure_conservation, relative_drift
+from .particles import ParticleSystem
+from .phases import Phase
+from .presets import CHANGA, PRESETS, SPH_EXA, SPHFLOW, SPHYNX, get_preset
+from .simulation import Simulation, StepStats
+
+__all__ = [
+    "ParticleSystem",
+    "SimulationConfig",
+    "Simulation",
+    "StepStats",
+    "Phase",
+    "ConservationState",
+    "measure_conservation",
+    "relative_drift",
+    "SPHYNX",
+    "CHANGA",
+    "SPHFLOW",
+    "SPH_EXA",
+    "PRESETS",
+    "get_preset",
+]

@@ -1,0 +1,132 @@
+"""Simulation configuration: the Table 1-4 feature axes as switches.
+
+A :class:`SimulationConfig` selects one value per scientific axis of
+Tables 1-2 (kernel, gradients, volume elements, time stepping, neighbour
+discovery, self-gravity) and per computer-science axis of Tables 3-4
+(domain decomposition, load balancing, checkpoint/restart, precision,
+language/parallelization metadata).  The presets in
+:mod:`repro.core.presets` instantiate the three parent codes' rows and the
+mini-app outlook row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..sph.viscosity import ViscosityParams
+from ..timestepping.criteria import TimestepParams
+
+__all__ = [
+    "KERNEL_CHOICES",
+    "GRADIENT_CHOICES",
+    "VOLUME_ELEMENT_CHOICES",
+    "TIMESTEPPING_CHOICES",
+    "NEIGHBOR_CHOICES",
+    "GRAVITY_CHOICES",
+    "DECOMPOSITION_CHOICES",
+    "LOAD_BALANCING_CHOICES",
+    "SimulationConfig",
+]
+
+KERNEL_CHOICES = (
+    "sinc-s3",
+    "sinc-s5",
+    "sinc-s6",
+    "sinc-s7",
+    "m4",
+    "wendland-c2",
+    "wendland-c4",
+    "wendland-c6",
+)
+GRADIENT_CHOICES = ("standard", "iad")
+VOLUME_ELEMENT_CHOICES = ("standard", "generalized")
+TIMESTEPPING_CHOICES = ("global", "individual", "adaptive")
+NEIGHBOR_CHOICES = ("tree-walk", "cell-grid")
+#: None disables gravity; names map to multipole ranks (Table 1 wording).
+GRAVITY_CHOICES = (None, "monopole", "quadrupole", "octupole", "hexadecapole")
+DECOMPOSITION_CHOICES = (
+    "uniform-slabs",  # SPHYNX "Straightforward"
+    "orb",  # SPH-flow "Orthogonal Recursive Bisection"
+    "sfc-morton",  # ChaNGa "Space Filling Curve"
+    "sfc-hilbert",
+    "block-index",  # no spatial locality at all (worst-case baseline)
+)
+LOAD_BALANCING_CHOICES = (
+    "static",  # SPHYNX "None (static)"
+    "dynamic",  # ChaNGa "Dynamic" (self-scheduling)
+    "local-inner-outer",  # SPH-flow
+)
+
+_GRAVITY_ORDER = {"monopole": 0, "quadrupole": 2, "octupole": 3, "hexadecapole": 4}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """One column of Tables 1-4, expressed as runnable switches.
+
+    Scientific axes (Tables 1-2) affect the numerics; computer-science
+    axes (Tables 3-4) affect the simulated-cluster execution and the
+    feature reports.  ``label`` and the metadata fields identify the
+    configuration in benchmark output.
+    """
+
+    label: str = "sph-exa"
+    # --- scientific axes (Tables 1-2) ---
+    kernel: str = "sinc-s5"
+    gradients: str = "iad"
+    volume_elements: str = "generalized"
+    xmass_exponent: float = 0.7
+    timestepping: str = "global"
+    neighbor_search: str = "cell-grid"
+    gravity: Optional[str] = None
+    gravity_theta: float = 0.5
+    gravity_softening_factor: float = 0.05  # softening = factor * mean h
+    n_neighbors: int = 100
+    grad_h: bool = False
+    viscosity: ViscosityParams = field(default_factory=ViscosityParams)
+    timestep_params: TimestepParams = field(default_factory=TimestepParams)
+    # --- computer-science axes (Tables 3-4) ---
+    domain_decomposition: str = "sfc-hilbert"
+    load_balancing: str = "dynamic"
+    checkpoint_restart: bool = True
+    error_detection: bool = False  # SDC detectors (Table 4)
+    precision: str = "64-bit"
+    # informational metadata for the feature tables
+    language: str = "Python (reproduction)"
+    parallelization: str = "simulated MPI+X"
+    reported_loc: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        checks = [
+            ("kernel", self.kernel, KERNEL_CHOICES),
+            ("gradients", self.gradients, GRADIENT_CHOICES),
+            ("volume_elements", self.volume_elements, VOLUME_ELEMENT_CHOICES),
+            ("timestepping", self.timestepping, TIMESTEPPING_CHOICES),
+            ("neighbor_search", self.neighbor_search, NEIGHBOR_CHOICES),
+            ("gravity", self.gravity, GRAVITY_CHOICES),
+            (
+                "domain_decomposition",
+                self.domain_decomposition,
+                DECOMPOSITION_CHOICES,
+            ),
+            ("load_balancing", self.load_balancing, LOAD_BALANCING_CHOICES),
+        ]
+        for name, value, choices in checks:
+            if value not in choices:
+                raise ValueError(
+                    f"{name}={value!r} not in allowed choices {choices}"
+                )
+        if not 0.0 < self.gravity_theta <= 1.5:
+            raise ValueError(f"gravity_theta out of range: {self.gravity_theta}")
+        if self.n_neighbors < 4:
+            raise ValueError(f"n_neighbors too small: {self.n_neighbors}")
+
+    @property
+    def gravity_order(self) -> Optional[int]:
+        """Multipole rank for the tree code, or None when gravity is off."""
+        return None if self.gravity is None else _GRAVITY_ORDER[self.gravity]
+
+    def with_(self, **kwargs) -> "SimulationConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **kwargs)

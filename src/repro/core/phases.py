@@ -1,0 +1,52 @@
+"""Algorithm-1 phase labels A-J (Figure 4).
+
+"Each letter can be related to the different phases of Algorithm 1.
+Phase A is the building of the octree.  Phases B, C, and D concern the
+finding of neighbors.  Phases E to H are the SPH-related calculations
+(density, momentum, and energy, among other needed quantities).  Phase I
+is the calculation of self-gravity.  Finally, phase J, is the computation
+of the new time-step and the update of particle positions."
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Phase"]
+
+
+class Phase(str, Enum):
+    """Step phases; the value is the Figure-4 letter."""
+
+    TREE_BUILD = "A"
+    NEIGHBOR_SEARCH = "B"
+    SMOOTHING_LENGTH = "C"
+    NEIGHBOR_LISTS = "D"
+    DENSITY = "E"
+    EQUATION_OF_STATE = "F"
+    MOMENTUM_ENERGY = "G"
+    AUX_KERNELS = "H"
+    GRAVITY = "I"
+    TIMESTEP_UPDATE = "J"
+
+    @property
+    def letter(self) -> str:
+        return self.value
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    Phase.TREE_BUILD: "build the octree (Alg. 1 step 1)",
+    Phase.NEIGHBOR_SEARCH: "tree walk / neighbour discovery (step 2)",
+    Phase.SMOOTHING_LENGTH: "smoothing-length adaptation (step 2)",
+    Phase.NEIGHBOR_LISTS: "pair-list assembly and IAD moments (step 2)",
+    Phase.DENSITY: "density summation (step 3)",
+    Phase.EQUATION_OF_STATE: "equation of state (step 3)",
+    Phase.MOMENTUM_ENERGY: "momentum and energy equations (step 3)",
+    Phase.AUX_KERNELS: "auxiliary SPH kernels: div/curl, diagnostics (step 3)",
+    Phase.GRAVITY: "self-gravity tree walk (step 4)",
+    Phase.TIMESTEP_UPDATE: "new time step and position/velocity update (steps 5-6)",
+}

@@ -1,0 +1,111 @@
+"""Parent-code presets: Tables 1 and 3 as runnable configurations.
+
+Each preset drives the shared SPH engine with one parent code's algorithm
+choices, so the benchmark harness can compare "SPHYNX vs ChaNGa vs
+SPH-flow" on identical tests the way the paper does.  The SPH_EXA preset
+is the Table 2/4 outlook column — the mini-app defaults.
+
+| Code     | Kernel    | Gradients | Volumes     | Stepping   | Gravity           | Decomp         | LB                |
+|----------|-----------|-----------|-------------|------------|-------------------|----------------|-------------------|
+| SPHYNX   | sinc      | IAD       | generalized | global     | 4-pole (quad)     | straightforward| none (static)     |
+| ChaNGa   | Wendland/M4| kernel der| standard    | individual | 16-pole (hexadec) | SFC            | dynamic           |
+| SPH-flow | Wendland  | kernel der| standard    | adaptive   | none              | ORB            | local-inner-outer |
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .config import SimulationConfig
+
+__all__ = ["SPHYNX", "CHANGA", "SPHFLOW", "SPH_EXA", "PRESETS", "get_preset"]
+
+#: SPHYNX 1.3.1 (Table 1 / Table 3 row 1).
+SPHYNX = SimulationConfig(
+    label="SPHYNX",
+    kernel="sinc-s5",
+    gradients="iad",
+    volume_elements="generalized",
+    timestepping="global",
+    neighbor_search="tree-walk",
+    gravity="quadrupole",  # "Multipoles (4-pole)"
+    domain_decomposition="uniform-slabs",  # "Straightforward"
+    load_balancing="static",  # "None (static)"
+    checkpoint_restart=True,
+    precision="64-bit",
+    language="Fortran 90",
+    parallelization="MPI+OpenMP",
+    reported_loc=25_000,
+)
+
+#: ChaNGa 3.3 (Table 1 / Table 3 row 2).
+CHANGA = SimulationConfig(
+    label="ChaNGa",
+    kernel="wendland-c2",  # "Wendland, M4 spline"
+    gradients="standard",  # "Kernel derivatives"
+    volume_elements="standard",
+    timestepping="individual",
+    neighbor_search="tree-walk",
+    gravity="hexadecapole",  # "Multipoles (16-pole)"
+    domain_decomposition="sfc-morton",  # "Space Filling Curve"
+    load_balancing="dynamic",
+    checkpoint_restart=True,
+    precision="64-bit",
+    language="C++",
+    parallelization="MPI+OpenMP+CUDA",
+    reported_loc=110_000,
+)
+
+#: SPH-flow 17.6 (Table 1 / Table 3 row 3).
+SPHFLOW = SimulationConfig(
+    label="SPH-flow",
+    kernel="wendland-c2",
+    gradients="standard",
+    volume_elements="standard",
+    timestepping="adaptive",
+    neighbor_search="tree-walk",
+    gravity=None,  # "No" self-gravity
+    domain_decomposition="orb",  # "Orthogonal Recursive Bisection"
+    load_balancing="local-inner-outer",
+    checkpoint_restart=True,
+    precision="64-bit",
+    language="Fortran 90",
+    parallelization="MPI",
+    reported_loc=37_000,
+)
+
+#: The SPH-EXA mini-app outlook (Tables 2 and 4) — defaults for new work.
+SPH_EXA = SimulationConfig(
+    label="SPH-EXA",
+    kernel="sinc-s5",
+    gradients="iad",
+    volume_elements="generalized",
+    timestepping="global",
+    neighbor_search="tree-walk",
+    gravity="hexadecapole",  # Table 2: "Multipoles (16-pole)"
+    domain_decomposition="sfc-hilbert",  # Table 4: ORB or SFC
+    load_balancing="dynamic",  # "DLB with self-scheduling"
+    checkpoint_restart=True,  # "Optimal interval / Multilevel"
+    error_detection=True,  # "Silent data corruption detectors"
+    precision="64-bit",
+    language="C++ (target) / Python (this reproduction)",
+    parallelization="MPI + {OpenMP, HPX} + {OpenACC, CUDA} (target)",
+)
+
+PRESETS: Dict[str, SimulationConfig] = {
+    "sphynx": SPHYNX,
+    "changa": CHANGA,
+    "sph-flow": SPHFLOW,
+    "sphflow": SPHFLOW,
+    "sph-exa": SPH_EXA,
+}
+
+
+def get_preset(name: str) -> SimulationConfig:
+    """Preset lookup by (case-insensitive) code name."""
+    try:
+        return PRESETS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; available: sphynx, changa, sph-flow, sph-exa"
+        ) from None

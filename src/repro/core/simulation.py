@@ -1,0 +1,298 @@
+"""The simulation driver — Algorithm 1 of the paper.
+
+    while target simulated time is not reached do
+        1. Build tree                       (phase A)
+        2. Find neighbors and h             (phases B, C, D)
+        3. Execute SPH kernels              (phases E, F, G, H)
+        4. (Optional) compute self-gravity  (phase I)
+        5. Compute new time-step            (phase J)
+        6. Update velocity and position     (phase J)
+
+Integration is kick-drift-kick leapfrog, so one :meth:`Simulation.step`
+performs: half-kick with the current rates, drift, a full rate evaluation
+(phases A-I), the closing half-kick, and the next-dt selection.  Every
+phase is timed into an Extrae-like :class:`~repro.profiling.trace.Tracer`,
+which is what the Figure-4 reproduction and the POP metrics read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..gradients.iad import compute_iad_matrices
+from ..gravity.barnes_hut import barnes_hut_gravity
+from ..kernels.registry import make_kernel
+from ..profiling.trace import State, Tracer
+from ..sph.density import compute_density
+from ..sph.eos import EquationOfState
+from ..sph.forces import compute_forces
+from ..sph.smoothing import SmoothingConfig, adapt_smoothing_lengths
+from ..timestepping.integrator import apply_energy_floor, drift, kick
+from ..timestepping.steppers import (
+    AdaptiveTimestep,
+    GlobalTimestep,
+    IndividualTimesteps,
+)
+from ..tree.box import Box
+from ..tree.octree import Octree
+from .config import SimulationConfig
+from .conservation import ConservationState, measure_conservation
+from .particles import ParticleSystem
+from .phases import Phase
+
+__all__ = ["StepStats", "Simulation"]
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Summary of one completed time step."""
+
+    index: int
+    time: float
+    dt: float
+    n_particles: int
+    n_pairs: int
+    n_p2p: int
+    n_m2p: int
+    mean_neighbors: float
+    energy_floor_hits: int
+    conservation: ConservationState
+
+
+@dataclass
+class Simulation:
+    """Serial SPH simulation: one particle set, one Algorithm-1 loop.
+
+    Parameters
+    ----------
+    particles, box, eos:
+        State, domain (periodicity included) and equation of state — as
+        produced by the :mod:`repro.ics` factories.
+    config:
+        Algorithm choices (a preset from :mod:`repro.core.presets` or a
+        custom :class:`~repro.core.config.SimulationConfig`).
+    g_const:
+        Gravitational constant (1 in Evrard units); ignored when the
+        config has gravity disabled.
+    tracer:
+        Optional shared tracer; a private one is created by default.
+    """
+
+    particles: ParticleSystem
+    box: Box
+    eos: EquationOfState
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    g_const: float = 1.0
+    tracer: Tracer = field(default_factory=Tracer)
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        self.kernel = make_kernel(self.config.kernel)
+        self.time = 0.0
+        self.step_index = 0
+        self.potential_energy = 0.0
+        self.history: List[StepStats] = []
+        self._max_mu = 0.0
+        self._rates_current = False
+        self._nlist = None
+        self._tree: Optional[Octree] = None
+        self._smoothing = SmoothingConfig(n_target=self.config.n_neighbors)
+        if self.config.timestepping == "global":
+            self.stepper = GlobalTimestep(self.config.timestep_params)
+        elif self.config.timestepping == "adaptive":
+            self.stepper = AdaptiveTimestep(self.config.timestep_params)
+        else:
+            self.stepper = IndividualTimesteps(self.config.timestep_params)
+        self.initial_conservation: Optional[ConservationState] = None
+        # Table 4 "Error Detection": with error_detection enabled the
+        # driver runs the SDC monitor and the ABFT force guard each step
+        # and collects findings (production codes would abort/rollback).
+        self.sdc_findings: List[str] = []
+        self._sdc_monitor = None
+        self._abft_guard = None
+        if self.config.error_detection:
+            from ..resilience.abft import AbftForceGuard
+            from ..resilience.sdc import SdcMonitor
+
+            self._sdc_monitor = SdcMonitor()
+            self._abft_guard = AbftForceGuard()
+
+    # ------------------------------------------------------------------
+    # Rate evaluation: Algorithm 1 steps 1-4 (phases A-I)
+    # ------------------------------------------------------------------
+    def compute_rates(self) -> None:
+        """Rebuild tree/neighbours and evaluate all rates at current state."""
+        p = self.particles
+        cfg = self.config
+        tr = self.tracer
+
+        needs_tree = cfg.neighbor_search == "tree-walk" or cfg.gravity is not None
+        with tr.phase(Phase.TREE_BUILD.letter, State.USEFUL, self.rank):
+            if needs_tree:
+                # Gravity requires an open cube; neighbour walks honor the
+                # periodic box.  With both, the periodic-Z square patch
+                # never enables gravity, so the box choice is consistent.
+                self._tree = Octree.build(p.x, self.box, leaf_size=48)
+            else:
+                self._tree = None
+
+        with tr.phase(Phase.NEIGHBOR_SEARCH.letter, State.USEFUL, self.rank):
+            if cfg.neighbor_search == "tree-walk":
+                tree = self._tree
+
+                def search(x, radii, box, mode):
+                    return tree.walk_neighbors(x, radii, mode=mode)
+
+            else:
+                search = None  # default cell grid inside adapt
+
+        with tr.phase(Phase.SMOOTHING_LENGTH.letter, State.USEFUL, self.rank):
+            self._nlist = adapt_smoothing_lengths(
+                p, self.box, self._smoothing, search=search
+            )
+
+        c_matrices = None
+        with tr.phase(Phase.NEIGHBOR_LISTS.letter, State.USEFUL, self.rank):
+            if cfg.gradients == "iad":
+                # IAD moments need a density estimate; bootstrap on the
+                # first call with a standard summation inside density().
+                if np.all(p.rho <= 0.0):
+                    compute_density(p, self._nlist, self.kernel, self.box)
+                c_matrices = compute_iad_matrices(
+                    p, self._nlist, self.kernel, self.box
+                )
+
+        with tr.phase(Phase.DENSITY.letter, State.USEFUL, self.rank):
+            compute_density(
+                p,
+                self._nlist,
+                self.kernel,
+                self.box,
+                volume_elements=cfg.volume_elements,
+                xmass_exponent=cfg.xmass_exponent,
+            )
+
+        with tr.phase(Phase.EQUATION_OF_STATE.letter, State.USEFUL, self.rank):
+            self.eos.apply(p)
+
+        with tr.phase(Phase.MOMENTUM_ENERGY.letter, State.USEFUL, self.rank):
+            result = compute_forces(
+                p,
+                self._nlist,
+                self.kernel,
+                self.box,
+                gradients=cfg.gradients,
+                viscosity=cfg.viscosity,
+                grad_h=cfg.grad_h,
+                c_matrices=c_matrices,
+            )
+            self._max_mu = result.max_mu
+
+        self._last_gravity_p2p = 0
+        self._last_gravity_m2p = 0
+        with tr.phase(Phase.GRAVITY.letter, State.USEFUL, self.rank):
+            # Self-gravity only applies to open-boundary scenarios (the
+            # paper runs the periodic-Z square patch without gravity on
+            # every code, gravity-capable or not — Table 5).
+            if cfg.gravity is not None and not bool(np.any(self.box.periodic)):
+                softening = cfg.gravity_softening_factor * float(p.h.mean())
+                grav = barnes_hut_gravity(
+                    p.x,
+                    p.m,
+                    g_const=self.g_const,
+                    softening=softening,
+                    theta=cfg.gravity_theta,
+                    order=cfg.gravity_order,
+                    tree=self._tree,
+                )
+                p.a += grav.acc
+                self.potential_energy = grav.potential_energy(p.m)
+                self._last_gravity_p2p = grav.n_p2p
+                self._last_gravity_m2p = grav.n_m2p
+            else:
+                self.potential_energy = 0.0
+        self._rates_current = True
+
+    # ------------------------------------------------------------------
+    # One leapfrog step (Algorithm 1 steps 5-6 around the rate evaluation)
+    # ------------------------------------------------------------------
+    def step(self) -> StepStats:
+        p = self.particles
+        tr = self.tracer
+        if not self._rates_current:
+            self.compute_rates()
+        if self.initial_conservation is None:
+            self.initial_conservation = measure_conservation(
+                p, self.time, self.potential_energy
+            )
+
+        with tr.phase(Phase.TIMESTEP_UPDATE.letter, State.USEFUL, self.rank):
+            dt = self.stepper.select(p, self._max_mu)
+            if not np.isfinite(dt) or dt <= 0.0:
+                raise RuntimeError(f"non-finite time step selected: {dt}")
+            kick(p, 0.5 * dt)
+            drift(p, dt, self.box)
+
+        self.compute_rates()
+
+        floor_hits = 0
+        with tr.phase(Phase.TIMESTEP_UPDATE.letter, State.USEFUL, self.rank):
+            kick(p, 0.5 * dt)
+            floor_hits = apply_energy_floor(p)
+
+        self.time += dt
+        self.step_index += 1
+        nl = self._nlist
+        with tr.phase(Phase.AUX_KERNELS.letter, State.USEFUL, self.rank):
+            conservation = measure_conservation(p, self.time, self.potential_energy)
+            if self._sdc_monitor is not None:
+                findings = self._sdc_monitor.check_step(
+                    p, self.time, self.potential_energy
+                )
+                findings += self._abft_guard.verify(p)
+                self.sdc_findings.extend(
+                    f"step {self.step_index}: {f}" for f in findings
+                )
+        stats = StepStats(
+            index=self.step_index,
+            time=self.time,
+            dt=dt,
+            n_particles=p.n,
+            n_pairs=nl.n_pairs if nl is not None else 0,
+            n_p2p=self._last_gravity_p2p,
+            n_m2p=self._last_gravity_m2p,
+            mean_neighbors=float(nl.counts().mean()) if nl is not None else 0.0,
+            energy_floor_hits=floor_hits,
+            conservation=conservation,
+        )
+        self.history.append(stats)
+        return stats
+
+    def run(
+        self, n_steps: Optional[int] = None, t_end: Optional[float] = None
+    ) -> List[StepStats]:
+        """Run for ``n_steps`` steps and/or until ``t_end`` simulated time."""
+        if n_steps is None and t_end is None:
+            raise ValueError("provide n_steps and/or t_end")
+        done: List[StepStats] = []
+        while True:
+            if n_steps is not None and len(done) >= n_steps:
+                break
+            if t_end is not None and self.time >= t_end:
+                break
+            done.append(self.step())
+        return done
+
+    # ------------------------------------------------------------------
+    def conservation_drift(self) -> dict[str, float]:
+        """Relative drift of mass/momentum/energy since the first step."""
+        from .conservation import relative_drift
+
+        if self.initial_conservation is None or not self.history:
+            return {"mass": 0.0, "momentum": 0.0, "energy": 0.0}
+        return relative_drift(
+            self.initial_conservation, self.history[-1].conservation
+        )

@@ -1,0 +1,17 @@
+"""Domain decomposition and halo-exchange substrate (Tables 3-4).
+
+ORB, space-filling-curve (Morton/Hilbert), uniform-slab and block-index
+partitioners plus the cell-granular halo estimator the cluster's network
+model charges communication from.
+"""
+
+from .decomposition import DECOMPOSITION_METHODS, Decomposition, decompose
+from .halo import HaloEstimate, estimate_halo
+
+__all__ = [
+    "DECOMPOSITION_METHODS",
+    "Decomposition",
+    "decompose",
+    "HaloEstimate",
+    "estimate_halo",
+]

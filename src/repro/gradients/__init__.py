@@ -1,0 +1,18 @@
+"""Gradient operators: kernel derivatives and the integral approach (IAD).
+
+Tables 1-2 of the paper list two gradient calculations across the parent
+codes — plain kernel derivatives (ChaNGa, SPH-flow) and SPHYNX's IAD —
+and require both in the mini-app.  Both produce the same
+:class:`~repro.gradients.kernel_gradient.PairGradients` interface consumed
+by the force loop.
+"""
+
+from .iad import compute_iad_matrices, iad_pair_gradients
+from .kernel_gradient import PairGradients, kernel_pair_gradients
+
+__all__ = [
+    "PairGradients",
+    "kernel_pair_gradients",
+    "compute_iad_matrices",
+    "iad_pair_gradients",
+]

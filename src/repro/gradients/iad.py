@@ -1,0 +1,90 @@
+"""Integral Approach to Derivatives — IAD (García-Senz et al. 2012).
+
+SPHYNX's gradient scheme (Table 1 "IAD").  Instead of differentiating the
+kernel, gradients are obtained from a linearly-consistent integral
+estimator: each particle carries the inverse ``C_i`` of the local moment
+matrix
+
+    tau_i[ab] = sum_j V_j (x_j - x_i)_a (x_j - x_i)_b W(r_ij, h_i)
+
+and the pair gradient operator becomes
+
+    A^(i)_ij = C_i (x_j - x_i) W(r_ij, h_i).
+
+``A`` has the same orientation as ``grad_i W`` (pointing from i toward j),
+is exact for linear fields regardless of particle disorder, and — used in
+the same symmetrized pair form as the standard operator — conserves linear
+momentum to machine precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.base import Kernel
+from ..tree.box import Box
+from ..tree.neighborlist import NeighborList
+from .kernel_gradient import PairGradients
+
+__all__ = ["compute_iad_matrices", "iad_pair_gradients"]
+
+
+def compute_iad_matrices(
+    particles,
+    nlist: NeighborList,
+    kernel: Kernel,
+    box: Box | None = None,
+    *,
+    rcond: float = 1e-10,
+) -> np.ndarray:
+    """Per-particle IAD coefficient matrices ``C_i``, shape ``(n, dim, dim)``.
+
+    The moment matrix is regularized by ``rcond * trace`` on the diagonal
+    before inversion so isolated or degenerate particle configurations
+    (e.g. perfectly coplanar neighbours in 3-D) stay finite.
+    """
+    i, j = nlist.pairs()
+    dx, r = nlist.pair_geometry(particles.x, box)
+    dim = particles.dim
+    w = kernel.value(r, particles.h[i], dim)
+    vol_j = particles.m[j] / particles.rho[j]
+    # dx = x_i - x_j; tau uses (x_j - x_i) but the sign cancels in the outer
+    # product, so accumulate dx (x) dx directly.
+    weights = vol_j * w
+    outer = dx[:, :, None] * dx[:, None, :] * weights[:, None, None]
+    tau = np.zeros((particles.n, dim, dim))
+    flat_i = nlist.pair_i()
+    for a in range(dim):
+        for b in range(a, dim):
+            col = np.bincount(flat_i, weights=outer[:, a, b], minlength=particles.n)
+            tau[:, a, b] = col
+            if b != a:
+                tau[:, b, a] = col
+    trace = np.einsum("kaa->k", tau)
+    reg = np.maximum(trace * rcond, 1e-300)
+    tau += reg[:, None, None] * np.eye(dim)[None, :, :]
+    return np.linalg.inv(tau)
+
+
+def iad_pair_gradients(
+    c_matrices: np.ndarray,
+    kernel: Kernel,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    dx: np.ndarray,
+    r: np.ndarray,
+    h_i: np.ndarray,
+    h_j: np.ndarray,
+    dim: int,
+) -> PairGradients:
+    """IAD pair gradients ``A^(i)_ij`` and ``A^(j)_ij``.
+
+    ``dx`` must be ``x_i - x_j``; the operator uses ``x_j - x_i = -dx`` so
+    it points toward j like the standard kernel gradient.
+    """
+    wi = kernel.value(r, h_i, dim)
+    wj = kernel.value(r, h_j, dim)
+    towards_j = -dx
+    gi = np.einsum("kab,kb->ka", c_matrices[pair_i], towards_j) * wi[:, None]
+    gj = np.einsum("kab,kb->ka", c_matrices[pair_j], towards_j) * wj[:, None]
+    return PairGradients(gi=gi, gj=gj)

@@ -1,0 +1,28 @@
+"""Self-gravity solvers (Algorithm 1, step 4; Tables 1-2 "Self-Gravity").
+
+Barnes-Hut tree gravity with Cartesian multipoles — quadrupole ("4-pole",
+SPHYNX) through hexadecapole ("16-pole", ChaNGa) — plus the direct O(N^2)
+baseline used for validation.
+"""
+
+from .barnes_hut import GravityResult, barnes_hut_gravity, potential_energy
+from .direct import direct_gravity
+from .multipole import (
+    MULTIPOLE_ORDERS,
+    NodeMoments,
+    compute_node_moments,
+    derivative_tensors,
+    evaluate_multipoles,
+)
+
+__all__ = [
+    "GravityResult",
+    "barnes_hut_gravity",
+    "potential_energy",
+    "direct_gravity",
+    "MULTIPOLE_ORDERS",
+    "NodeMoments",
+    "compute_node_moments",
+    "derivative_tensors",
+    "evaluate_multipoles",
+]

@@ -1,0 +1,65 @@
+"""Direct O(N^2) gravity summation.
+
+The brute-force baseline every tree code is validated against.  Plummer
+softening keeps close encounters finite:
+
+    a_i = -G sum_{j != i} m_j (x_i - x_j) / (r_ij^2 + eps^2)^{3/2}
+    phi_i = -G sum_{j != i} m_j / sqrt(r_ij^2 + eps^2)
+
+Evaluated in target chunks so peak memory stays at ``chunk * n`` pair
+tiles rather than ``n^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["direct_gravity"]
+
+
+def direct_gravity(
+    x: np.ndarray,
+    m: np.ndarray,
+    *,
+    g_const: float = 1.0,
+    softening: float = 0.0,
+    targets: np.ndarray | None = None,
+    chunk: int = 1024,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Accelerations and potentials by direct summation.
+
+    Parameters
+    ----------
+    targets:
+        Optional target indices; defaults to all particles.
+
+    Returns
+    -------
+    ``(acc, phi)`` with ``acc.shape == (n_targets, dim)``.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    m = np.asarray(m, dtype=np.float64)
+    n, dim = x.shape
+    if targets is None:
+        targets = np.arange(n)
+    targets = np.asarray(targets, dtype=np.int64)
+    eps2 = float(softening) ** 2
+
+    acc = np.zeros((targets.size, dim))
+    phi = np.zeros(targets.size)
+    for lo in range(0, targets.size, chunk):
+        hi = min(lo + chunk, targets.size)
+        t = targets[lo:hi]
+        d = x[t][:, None, :] - x[None, :, :]  # (c, n, dim)
+        r2 = np.einsum("cnd,cnd->cn", d, d) + eps2
+        # Exclude self-interaction: r2 == eps2 exactly at the self pair.
+        self_mask = t[:, None] == np.arange(n)[None, :]
+        with np.errstate(divide="ignore"):
+            inv_r = 1.0 / np.sqrt(r2)
+        inv_r[self_mask] = 0.0
+        inv_r3 = inv_r**3
+        acc[lo:hi] = -g_const * np.einsum("cn,cnd->cd", m[None, :] * inv_r3, d)
+        phi[lo:hi] = -g_const * (m[None, :] * inv_r).sum(axis=1)
+    return acc, phi

@@ -1,0 +1,261 @@
+"""Cartesian multipole moments and Taylor derivative tensors.
+
+Table 1 of the paper records gravity as "Multipoles (4-pole)" for SPHYNX
+and "Multipoles (16-pole)" for ChaNGa — quadrupole and hexadecapole order
+in the physics naming (2^p-pole).  This module provides both, plus the
+octupole in between, as raw Cartesian moment tensors about each node's
+center of mass:
+
+    M^(n)_{a1..an} = sum_k m_k s_a1 ... s_an,     s = x_k - X_com
+
+combined with the derivative tensors ``D^(n) = grad^n (1/r)`` in the
+far-field expansion
+
+    phi(d)  = -G sum_n ((-1)^n / n!) M^(n) . D^(n)(d)
+    a_e(d)  =  G sum_n ((-1)^n / n!) M^(n) . D^(n+1)(d)_e
+
+with ``d`` pointing from the node COM to the target.  ``M^(1) = 0`` by the
+COM choice, so the dipole never appears.  Raw (non-detraced) moments are
+used; detracing only re-shuffles terms between orders and raw tensors keep
+the translation algebra simple (moments are accumulated about the box
+center with prefix sums, then shifted to each COM with the binomial
+transport formulas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List
+
+import numpy as np
+
+from ..tree.octree import Octree
+
+__all__ = [
+    "MULTIPOLE_ORDERS",
+    "NodeMoments",
+    "compute_node_moments",
+    "derivative_tensors",
+    "evaluate_multipoles",
+]
+
+#: Supported expansion orders: physics name -> highest moment rank.
+MULTIPOLE_ORDERS = {"monopole": 0, "quadrupole": 2, "octupole": 3, "hexadecapole": 4}
+
+
+@dataclass
+class NodeMoments:
+    """Per-node multipole moments about the node center of mass."""
+
+    order: int
+    mass: np.ndarray  # (m,)
+    com: np.ndarray  # (m, dim)
+    m2: np.ndarray | None = None  # (m, dim, dim)
+    m3: np.ndarray | None = None  # (m, dim, dim, dim)
+    m4: np.ndarray | None = None  # (m, dim, dim, dim, dim)
+
+
+def compute_node_moments(
+    tree: Octree, x: np.ndarray, m: np.ndarray, order: int = 2
+) -> NodeMoments:
+    """Moments for every tree node in one prefix-sum pass per component.
+
+    ``order`` is the highest moment rank retained (0, 2, 3 or 4 — the
+    dipole vanishes about the COM so order 1 equals order 0).
+    """
+    if order not in (0, 1, 2, 3, 4):
+        raise ValueError(f"order must be in 0..4, got {order}")
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    m = np.asarray(m, dtype=np.float64)
+    dim = x.shape[1]
+    # Accumulate about the box center to curb cancellation in prefix sums.
+    origin = tree.box.center
+    s = x - origin
+
+    mass = tree.node_aggregate(m)
+    msum = tree.node_aggregate(m[:, None] * s)
+    safe_mass = np.where(mass > 0.0, mass, 1.0)
+    com_rel = msum / safe_mass[:, None]
+    com = com_rel + origin
+    moments = NodeMoments(order=order, mass=mass, com=com)
+    if order < 2:
+        return moments
+
+    # Raw second moments about the origin, then shift to the COM:
+    #   M2_com = M2 - M X (x) X
+    mxx = m[:, None, None] * s[:, :, None] * s[:, None, :]
+    raw2 = tree.node_aggregate(mxx.reshape(-1, dim * dim)).reshape(-1, dim, dim)
+    xx = com_rel[:, :, None] * com_rel[:, None, :]
+    moments.m2 = raw2 - mass[:, None, None] * xx
+    if order < 3:
+        return moments
+
+    #   M3_com = M3 - sym3(X (x) M2_raw) + 2 M X^3
+    mxxx = mxx[:, :, :, None] * s[:, None, None, :]
+    raw3 = tree.node_aggregate(mxxx.reshape(-1, dim**3)).reshape(-1, dim, dim, dim)
+    X = com_rel
+    sym_xm2 = (
+        X[:, :, None, None] * raw2[:, None, :, :]
+        + X[:, None, :, None] * raw2[:, :, None, :]
+        + X[:, None, None, :] * raw2[:, :, :, None]
+    )
+    xxx = xx[:, :, :, None] * X[:, None, None, :]
+    moments.m3 = raw3 - sym_xm2 + 2.0 * mass[:, None, None, None] * xxx
+    if order < 4:
+        return moments
+
+    #   M4_com = M4 - sym4(X (x) M3_raw) + sym6(X X (x) M2_raw) - 3 M X^4
+    mxxxx = mxxx[:, :, :, :, None] * s[:, None, None, None, :]
+    raw4 = tree.node_aggregate(mxxxx.reshape(-1, dim**4)).reshape(
+        -1, dim, dim, dim, dim
+    )
+    sym_xm3 = (
+        X[:, :, None, None, None] * raw3[:, None, :, :, :]
+        + X[:, None, :, None, None] * raw3[:, :, None, :, :]
+        + X[:, None, None, :, None] * raw3[:, :, :, None, :]
+        + X[:, None, None, None, :] * raw3[:, :, :, :, None]
+    )
+    # Six pairings of which two indices carry X.
+    def xxm2(a: int, b: int) -> np.ndarray:
+        # Positions a, b carry the COM offset pair X X; the rest carry M2.
+        rest = [i for i in range(4) if i not in (a, b)]
+        letters = "abcd"
+        x_sub = letters[a] + letters[b]
+        m_sub = letters[rest[0]] + letters[rest[1]]
+        return np.einsum(f"k{x_sub},k{m_sub}->kabcd", xx, raw2)
+
+    sym_xxm2 = sum(xxm2(a, b) for a, b in combinations(range(4), 2))
+    xxxx = xxx[:, :, :, :, None] * X[:, None, None, None, :]
+    moments.m4 = (
+        raw4 - sym_xm3 + sym_xxm2 - 3.0 * mass[:, None, None, None, None] * xxxx
+    )
+    return moments
+
+
+def derivative_tensors(d: np.ndarray, max_rank: int) -> List[np.ndarray]:
+    """``[D^(0), ..., D^(max_rank)]`` with ``D^(n) = grad^n (1/|d|)``.
+
+    ``d`` has shape ``(k, dim)``; each ``D^(n)`` has shape
+    ``(k, dim, ..., dim)`` with n trailing axes.  Explicit closed forms up
+    to rank 5 (needed for hexadecapole accelerations).
+    """
+    d = np.atleast_2d(np.asarray(d, dtype=np.float64))
+    k, dim = d.shape
+    r2 = np.einsum("kd,kd->k", d, d)
+    if np.any(r2 <= 0.0):
+        raise ValueError("derivative tensors are singular at zero separation")
+    u = 1.0 / np.sqrt(r2)
+    u3 = u**3
+    u5 = u3 * u * u
+    u7 = u5 * u * u
+    u9 = u7 * u * u
+    u11 = u9 * u * u
+    eye = np.eye(dim)
+
+    out: List[np.ndarray] = [u]
+    if max_rank >= 1:
+        out.append(-d * u3[:, None])
+    if max_rank >= 2:
+        dd = d[:, :, None] * d[:, None, :]
+        out.append(3.0 * dd * u5[:, None, None] - eye[None, :, :] * u3[:, None, None])
+    if max_rank >= 3:
+        ddd = dd[:, :, :, None] * d[:, None, None, :]
+        sym_ed = (
+            eye[None, :, :, None] * d[:, None, None, :]
+            + eye[None, :, None, :] * d[:, None, :, None]
+            + eye[None, None, :, :] * d[:, :, None, None]
+        )
+        out.append(
+            -15.0 * ddd * u7[:, None, None, None]
+            + 3.0 * sym_ed * u5[:, None, None, None]
+        )
+    if max_rank >= 4:
+        dddd = ddd[:, :, :, :, None] * d[:, None, None, None, :]
+        sym_edd = np.zeros((k,) + (dim,) * 4)
+        letters = "abcd"
+        for (a, b) in combinations(range(4), 2):
+            rest = [i for i in range(4) if i not in (a, b)]
+            e_sub = letters[a] + letters[b]
+            d_sub = letters[rest[0]] + letters[rest[1]]
+            sym_edd += np.einsum(f"{e_sub},k{d_sub}->kabcd", eye, dd)
+        sym_ee = np.zeros((dim,) * 4)
+        # The three distinct pairings of four indices into two deltas:
+        # (ab)(cd), (ac)(bd), (ad)(bc) — enumerate pairs containing index 0
+        # so each pairing is counted exactly once.
+        for b in (1, 2, 3):
+            rest = [i for i in range(1, 4) if i != b]
+            e_sub = letters[0] + letters[b]
+            f_sub = letters[rest[0]] + letters[rest[1]]
+            sym_ee += np.einsum(f"{e_sub},{f_sub}->abcd", eye, eye)
+        out.append(
+            105.0 * dddd * u9[:, None, None, None, None]
+            - 15.0 * sym_edd * u7[:, None, None, None, None]
+            + 3.0 * sym_ee[None] * u5[:, None, None, None, None]
+        )
+    if max_rank >= 5:
+        ddddd = dddd[..., None] * d[:, None, None, None, None, :]
+        letters = "abcde"
+        sym_eddd = np.zeros((k,) + (dim,) * 5)
+        for (a, b) in combinations(range(5), 2):
+            rest = [i for i in range(5) if i not in (a, b)]
+            e_sub = letters[a] + letters[b]
+            d_sub = "".join(letters[i] for i in rest)
+            sym_eddd += np.einsum(f"{e_sub},k{d_sub}->kabcde", eye, ddd)
+        sym_eed = np.zeros((k,) + (dim,) * 5)
+        for solo in range(5):
+            others = [i for i in range(5) if i != solo]
+            # Three pairings of the remaining four indices into two deltas.
+            pairings = [
+                ((others[0], others[1]), (others[2], others[3])),
+                ((others[0], others[2]), (others[1], others[3])),
+                ((others[0], others[3]), (others[1], others[2])),
+            ]
+            for (p1, p2) in pairings:
+                e1 = letters[p1[0]] + letters[p1[1]]
+                e2 = letters[p2[0]] + letters[p2[1]]
+                ds = letters[solo]
+                sym_eed += np.einsum(f"{e1},{e2},k{ds}->kabcde", eye, eye, d)
+        out.append(
+            -945.0 * ddddd * u11[:, None, None, None, None, None]
+            + 105.0 * sym_eddd * u9[:, None, None, None, None, None]
+            - 15.0 * sym_eed * u7[:, None, None, None, None, None]
+        )
+    if max_rank >= 6:
+        raise ValueError("derivative tensors implemented up to rank 5")
+    return out
+
+
+def evaluate_multipoles(
+    d: np.ndarray,
+    mass: np.ndarray,
+    m2: np.ndarray | None,
+    m3: np.ndarray | None,
+    m4: np.ndarray | None,
+    order: int,
+    g_const: float = 1.0,
+):
+    """Far-field acceleration and potential for separations ``d``.
+
+    All inputs are per-interaction (k rows): ``d = x_target - com_node``
+    and the node moments gathered per interaction.
+    """
+    tensors = derivative_tensors(d, min(order, 4) + 1)
+    phi = mass * tensors[0]
+    acc = mass[:, None] * tensors[1]
+    if order >= 2:
+        if m2 is None:
+            raise ValueError("order >= 2 requires m2 moments")
+        phi = phi + 0.5 * np.einsum("kab,kab->k", m2, tensors[2])
+        acc = acc + 0.5 * np.einsum("kab,kabe->ke", m2, tensors[3])
+    if order >= 3:
+        if m3 is None:
+            raise ValueError("order >= 3 requires m3 moments")
+        phi = phi - (1.0 / 6.0) * np.einsum("kabc,kabc->k", m3, tensors[3])
+        acc = acc - (1.0 / 6.0) * np.einsum("kabc,kabce->ke", m3, tensors[4])
+    if order >= 4:
+        if m4 is None:
+            raise ValueError("order >= 4 requires m4 moments")
+        phi = phi + (1.0 / 24.0) * np.einsum("kabcd,kabcd->k", m4, tensors[4])
+        acc = acc + (1.0 / 24.0) * np.einsum("kabcd,kabcde->ke", m4, tensors[5])
+    return g_const * acc, -g_const * phi

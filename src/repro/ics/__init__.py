@@ -1,0 +1,30 @@
+"""Initial conditions for the paper's two test simulations (Table 5).
+
+The rotating square patch (Colagrossi 2005, extruded to 3-D with periodic
+Z as in Section 5.1) and the Evrard collapse (Evrard 1988, Eq. 2), plus
+the lattice helpers both share.
+"""
+
+from .evrard import EvrardConfig, evrard_density_profile, make_evrard
+from .lattice import cubic_lattice, lattice_sphere, side_for_count
+from .relax import GlassResult, density_noise, relax_to_glass
+from .square_patch import (
+    SquarePatchConfig,
+    make_square_patch,
+    patch_pressure_field,
+)
+
+__all__ = [
+    "EvrardConfig",
+    "evrard_density_profile",
+    "make_evrard",
+    "SquarePatchConfig",
+    "make_square_patch",
+    "patch_pressure_field",
+    "cubic_lattice",
+    "lattice_sphere",
+    "side_for_count",
+    "GlassResult",
+    "density_noise",
+    "relax_to_glass",
+]

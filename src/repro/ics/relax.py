@@ -1,0 +1,127 @@
+"""Glass-like particle relaxation.
+
+"Generating initial conditions for different numbers of particles is a
+non-trivial process" (Section 5.2) — partly because lattice ICs carry
+grid anisotropy that contaminates early dynamics (and, in this repo's
+square-patch test, lets the stiff Tait EOS amplify per-lattice-direction
+density bias).  Production SPH codes therefore relax their ICs into a
+*glass*: run damped SPH on a uniform-pressure fluid until the particles
+settle into an isotropic, low-noise configuration.
+
+:func:`relax_to_glass` implements the standard recipe — pressure forces
+from a uniform-u ideal gas, velocities zeroed (or strongly damped) every
+step so the system descends toward the minimum-energy configuration —
+and reports the density-noise history so callers can verify convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+from ..kernels.base import Kernel
+from ..kernels.registry import make_kernel
+from ..sph.density import compute_density
+from ..sph.eos import IdealGasEOS
+from ..sph.forces import compute_forces
+from ..sph.viscosity import ViscosityParams
+from ..tree.box import Box
+from ..tree.cellgrid import cell_grid_search
+
+__all__ = ["GlassResult", "density_noise", "relax_to_glass"]
+
+
+@dataclass(frozen=True)
+class GlassResult:
+    """Outcome of a relaxation run."""
+
+    particles: ParticleSystem
+    noise_history: List[float]
+    n_steps: int
+
+    @property
+    def initial_noise(self) -> float:
+        return self.noise_history[0]
+
+    @property
+    def final_noise(self) -> float:
+        return self.noise_history[-1]
+
+
+def density_noise(particles: ParticleSystem) -> float:
+    """RMS relative density scatter — the glass quality metric."""
+    rho = particles.rho
+    mean = rho.mean()
+    if mean <= 0.0:
+        raise ValueError("densities must be computed before measuring noise")
+    return float(np.sqrt(np.mean((rho / mean - 1.0) ** 2)))
+
+
+def relax_to_glass(
+    particles: ParticleSystem,
+    box: Box,
+    kernel: Kernel | None = None,
+    *,
+    n_steps: int = 60,
+    damping: float = 0.3,
+    dt_factor: float = 0.2,
+    rng: np.random.Generator | None = None,
+    jitter: float = 0.0,
+) -> GlassResult:
+    """Damped-dynamics relaxation toward a glass (in place).
+
+    Parameters
+    ----------
+    particles:
+        Configuration to relax; positions and h are updated in place.
+        The box should be periodic (a glass needs no surface).
+    damping:
+        Fraction of velocity removed after each step.  1.0 is steepest
+        descent (robust, slow); ~0.3 keeps enough momentum to converge an
+        order of magnitude faster without oscillating.
+    dt_factor:
+        Step size as a fraction of ``h / c_s``.
+    jitter:
+        Optional initial random displacement (fraction of the mean
+        spacing) to break lattice symmetry before relaxing — without it a
+        perfect lattice is already an equilibrium (a saddle), and descent
+        leaves it unchanged.
+    """
+    if not bool(np.all(box.periodic)):
+        raise ValueError("glass relaxation requires a fully periodic box")
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must be in (0, 1], got {damping}")
+    kernel = kernel or make_kernel("wendland-c2")
+    eos = IdealGasEOS(gamma=5.0 / 3.0)
+    particles.u[:] = 1.0  # uniform specific energy: pressure ~ rho
+    particles.v[:] = 0.0
+
+    spacing = (box.volume / particles.n) ** (1.0 / box.dim)
+    if jitter > 0.0:
+        rng = rng or np.random.default_rng(0)
+        particles.x += jitter * spacing * rng.normal(size=particles.x.shape)
+        particles.x[:] = box.wrap(particles.x)
+
+    noise: List[float] = []
+    visc = ViscosityParams(alpha=1.0, beta=2.0)
+    for _ in range(n_steps):
+        nl = cell_grid_search(particles.x, 2.0 * particles.h, box, mode="symmetric")
+        compute_density(particles, nl, kernel, box)
+        eos.apply(particles)
+        noise.append(density_noise(particles))
+        compute_forces(particles, nl, kernel, box, viscosity=visc)
+        dt = dt_factor * float((particles.h / np.maximum(particles.cs, 1e-12)).min())
+        particles.v += particles.a * dt
+        particles.x += particles.v * dt
+        particles.x[:] = box.wrap(particles.x)
+        particles.v *= 1.0 - damping
+        particles.du[:] = 0.0  # relaxation is not a thermodynamic process
+        particles.u[:] = 1.0
+    # Final density for the last noise sample.
+    nl = cell_grid_search(particles.x, 2.0 * particles.h, box, mode="symmetric")
+    compute_density(particles, nl, kernel, box)
+    noise.append(density_noise(particles))
+    return GlassResult(particles=particles, noise_history=noise, n_steps=n_steps)

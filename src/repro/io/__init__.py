@@ -1,0 +1,6 @@
+"""Snapshot I/O and report formatting."""
+
+from .reporting import format_table
+from .snapshot import load_snapshot, save_snapshot
+
+__all__ = ["save_snapshot", "load_snapshot", "format_table"]

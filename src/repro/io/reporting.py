@@ -1,0 +1,39 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the paper's tables and figure series as
+fixed-width text ("the same rows/series the paper reports"); this keeps
+the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a separator rule under the header."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells += [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for row in cells:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row}"
+            )
+    widths = [max(len(row[c]) for row in cells) for c in range(ncols)]
+    def fmt(row: List[str]) -> str:
+        return "  ".join(row[c].ljust(widths[c]) for c in range(ncols)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines += [fmt(row) for row in cells[1:]]
+    return "\n".join(lines)

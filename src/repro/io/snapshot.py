@@ -1,0 +1,34 @@
+"""Particle snapshots on disk (npz).
+
+Lightweight output for examples and validation scripts — distinct from
+checkpoints (:mod:`repro.resilience.checkpoint`), which add integrity
+sums and driver state for restart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+
+__all__ = ["save_snapshot", "load_snapshot"]
+
+
+def save_snapshot(
+    path: str | Path, particles: ParticleSystem, time: float = 0.0
+) -> None:
+    """Write a compressed snapshot of the particle state."""
+    data = {k.replace(":", "__"): v for k, v in particles.state_arrays()}
+    np.savez_compressed(Path(path), __time=np.array(time), **data)
+
+
+def load_snapshot(path: str | Path) -> tuple[ParticleSystem, float]:
+    """Read a snapshot; returns ``(particles, time)``."""
+    with np.load(Path(path)) as f:
+        time = float(f["__time"])
+        data = {
+            k.replace("__", ":"): f[k] for k in f.files if k != "__time"
+        }
+    return ParticleSystem.from_dict(data), time

@@ -1,0 +1,25 @@
+"""SPH interpolation kernels (Tables 1-2 of the paper).
+
+The mini-app carries the union of the parent codes' kernels as
+interchangeable modules: the sinc family (SPHYNX), the M4 cubic spline
+(ChaNGa) and the Wendland C2/C4/C6 family (ChaNGa, SPH-flow).
+"""
+
+from .base import Kernel, SUPPORT_RADIUS
+from .cubic_spline import CubicSplineKernel
+from .registry import available_kernels, make_kernel, register_kernel
+from .sinc import SincKernel
+from .wendland import WendlandC2Kernel, WendlandC4Kernel, WendlandC6Kernel
+
+__all__ = [
+    "Kernel",
+    "SUPPORT_RADIUS",
+    "CubicSplineKernel",
+    "SincKernel",
+    "WendlandC2Kernel",
+    "WendlandC4Kernel",
+    "WendlandC6Kernel",
+    "make_kernel",
+    "available_kernels",
+    "register_kernel",
+]

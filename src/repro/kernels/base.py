@@ -1,0 +1,159 @@
+"""Base class for SPH interpolation kernels.
+
+All kernels in this package use the *compact support* convention of the
+SPH-EXA parent codes: the kernel is a function of ``q = r / h`` and vanishes
+for ``q >= 2`` (support radius ``2 h``).  A kernel is fully described by a
+dimensionless shape function ``f(q)`` and a per-dimension normalization
+``sigma_d`` such that
+
+    W(r, h) = sigma_d / h^d * f(r / h)
+
+and ``\\int W(r, h) dV = 1`` in ``d`` dimensions.
+
+Subclasses implement :meth:`shape` and :meth:`shape_derivative`; the base
+class provides the normalized value, the radial derivative ``dW/dr``, the
+vector gradient ``\\nabla_i W(r_i - r_j, h)`` and the smoothing-length
+derivative ``dW/dh`` used by grad-h correction terms.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["Kernel", "SUPPORT_RADIUS"]
+
+#: All kernels share compact support ``q = r/h in [0, 2)``.
+SUPPORT_RADIUS = 2.0
+
+
+class Kernel(abc.ABC):
+    """Abstract SPH interpolation kernel with compact support ``2 h``."""
+
+    #: Human-readable kernel name (e.g. ``"wendland-c2"``).
+    name: str = "kernel"
+
+    #: Dimensionless support radius in units of ``h``.
+    support: float = SUPPORT_RADIUS
+
+    def __init__(self) -> None:
+        self._sigma_cache: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Shape function (to be provided by subclasses)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def shape(self, q: np.ndarray) -> np.ndarray:
+        """Dimensionless shape ``f(q)``; must vanish for ``q >= support``."""
+
+    @abc.abstractmethod
+    def shape_derivative(self, q: np.ndarray) -> np.ndarray:
+        """Derivative ``f'(q)``; must vanish for ``q >= support``."""
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    def sigma(self, dim: int) -> float:
+        """Normalization constant ``sigma_d`` for ``dim`` in {1, 2, 3}.
+
+        Computed once per dimension by numerically integrating the shape
+        function over its support, then cached.  Subclasses with closed-form
+        normalizations override :meth:`_sigma_exact`.
+        """
+        if dim not in (1, 2, 3):
+            raise ValueError(f"dim must be 1, 2 or 3, got {dim}")
+        if dim not in self._sigma_cache:
+            exact = self._sigma_exact(dim)
+            self._sigma_cache[dim] = (
+                exact if exact is not None else self._sigma_numeric(dim)
+            )
+        return self._sigma_cache[dim]
+
+    def _sigma_exact(self, dim: int) -> float | None:
+        """Closed-form normalization, or ``None`` to integrate numerically."""
+        return None
+
+    def _sigma_numeric(self, dim: int) -> float:
+        from scipy.integrate import quad
+
+        if dim == 1:
+            integrand = lambda q: self.shape(np.asarray(q))  # noqa: E731
+            volume, _ = quad(integrand, 0.0, self.support, limit=200)
+            volume *= 2.0
+        elif dim == 2:
+            integrand = lambda q: q * self.shape(np.asarray(q))  # noqa: E731
+            volume, _ = quad(integrand, 0.0, self.support, limit=200)
+            volume *= 2.0 * np.pi
+        else:
+            integrand = lambda q: q * q * self.shape(np.asarray(q))  # noqa: E731
+            volume, _ = quad(integrand, 0.0, self.support, limit=200)
+            volume *= 4.0 * np.pi
+        return 1.0 / volume
+
+    # ------------------------------------------------------------------
+    # Normalized kernel and derivatives
+    # ------------------------------------------------------------------
+    def value(self, r: np.ndarray, h: np.ndarray, dim: int = 3) -> np.ndarray:
+        """Kernel value ``W(r, h)`` for separations ``r`` and lengths ``h``."""
+        r = np.asarray(r, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        q = r / h
+        return self.sigma(dim) / h**dim * self.shape(q)
+
+    def radial_derivative(
+        self, r: np.ndarray, h: np.ndarray, dim: int = 3
+    ) -> np.ndarray:
+        """Radial derivative ``dW/dr`` (a scalar, negative inside support)."""
+        r = np.asarray(r, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        q = r / h
+        return self.sigma(dim) / h ** (dim + 1) * self.shape_derivative(q)
+
+    def gradient(
+        self,
+        dx: np.ndarray,
+        r: np.ndarray,
+        h: np.ndarray,
+        dim: int = 3,
+    ) -> np.ndarray:
+        """Vector gradient ``\\nabla_i W(r_ij, h)`` for ``dx = x_i - x_j``.
+
+        Parameters
+        ----------
+        dx:
+            Separation vectors, shape ``(n, dim)``.
+        r:
+            Separation magnitudes ``|dx|``, shape ``(n,)``.
+        h:
+            Smoothing lengths, scalar or shape ``(n,)``.
+
+        Returns
+        -------
+        Array of shape ``(n, dim)``.  The gradient at zero separation is
+        zero (the kernel is smooth at the origin).
+        """
+        dx = np.asarray(dx, dtype=np.float64)
+        r = np.asarray(r, dtype=np.float64)
+        dwdr = self.radial_derivative(r, h, dim)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            scale = np.where(r > 0.0, dwdr / np.where(r > 0.0, r, 1.0), 0.0)
+        return dx * scale[..., None]
+
+    def h_derivative(self, r: np.ndarray, h: np.ndarray, dim: int = 3) -> np.ndarray:
+        """Smoothing-length derivative ``dW/dh`` used by grad-h terms.
+
+        ``dW/dh = -sigma / h^{d+1} * (d * f(q) + q * f'(q))``.
+        """
+        r = np.asarray(r, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        q = r / h
+        return (
+            -self.sigma(dim)
+            / h ** (dim + 1)
+            * (dim * self.shape(q) + q * self.shape_derivative(q))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

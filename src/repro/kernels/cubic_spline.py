@@ -1,0 +1,44 @@
+"""M4 cubic spline kernel (Monaghan & Lattanzio 1985).
+
+The classic SPH kernel, used by ChaNGa (Table 1 of the paper) as one of its
+two kernel options.  Piecewise cubic with support ``2 h``:
+
+    f(q) = 1 - 3/2 q^2 + 3/4 q^3         for 0 <= q < 1
+    f(q) = 1/4 (2 - q)^3                 for 1 <= q < 2
+    f(q) = 0                             otherwise
+
+with normalizations ``sigma = 2/3 (1D), 10/(7 pi) (2D), 1/pi (3D)`` in units
+of ``h^{-d}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Kernel
+
+__all__ = ["CubicSplineKernel"]
+
+_SIGMA = {1: 2.0 / 3.0, 2: 10.0 / (7.0 * np.pi), 3: 1.0 / np.pi}
+
+
+class CubicSplineKernel(Kernel):
+    """M4 cubic spline ("M4 spline" in Tables 1-2 of the paper)."""
+
+    name = "m4-cubic-spline"
+
+    def shape(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        inner = 1.0 - 1.5 * q * q + 0.75 * q * q * q
+        outer = 0.25 * (2.0 - q) ** 3
+        out = np.where(q < 1.0, inner, np.where(q < 2.0, outer, 0.0))
+        return np.where(q >= 0.0, out, 0.0)
+
+    def shape_derivative(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        inner = -3.0 * q + 2.25 * q * q
+        outer = -0.75 * (2.0 - q) ** 2
+        return np.where(q < 1.0, inner, np.where(q < 2.0, outer, 0.0))
+
+    def _sigma_exact(self, dim: int) -> float:
+        return _SIGMA[dim]

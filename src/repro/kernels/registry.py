@@ -1,0 +1,54 @@
+"""Name-based kernel registry.
+
+The mini-app exposes its kernels as interchangeable modules selected by name
+(Section 4 of the paper: "some of them, such as the SPH interpolation
+kernels, can be implemented as separate interchangeable modules").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import Kernel
+from .cubic_spline import CubicSplineKernel
+from .sinc import SincKernel
+from .wendland import WendlandC2Kernel, WendlandC4Kernel, WendlandC6Kernel
+
+__all__ = ["make_kernel", "available_kernels", "register_kernel"]
+
+_FACTORIES: Dict[str, Callable[[], Kernel]] = {
+    "m4": CubicSplineKernel,
+    "cubic-spline": CubicSplineKernel,
+    "wendland-c2": WendlandC2Kernel,
+    "wendland-c4": WendlandC4Kernel,
+    "wendland-c6": WendlandC6Kernel,
+    "sinc": lambda: SincKernel(5.0),
+    "sinc-s3": lambda: SincKernel(3.0),
+    "sinc-s5": lambda: SincKernel(5.0),
+    "sinc-s6": lambda: SincKernel(6.0),
+    "sinc-s7": lambda: SincKernel(7.0),
+}
+
+
+def register_kernel(name: str, factory: Callable[[], Kernel]) -> None:
+    """Register a user-provided kernel factory under ``name``."""
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"kernel name already registered: {name!r}")
+    _FACTORIES[key] = factory
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names accepted by :func:`make_kernel`, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_kernel(name: str) -> Kernel:
+    """Instantiate a kernel by registry name (case-insensitive)."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; available: {', '.join(available_kernels())}"
+        ) from None
+    return factory()

@@ -1,0 +1,72 @@
+"""Fault-tolerance substrate (Tables 3-4, Section 4).
+
+Checkpoint/restart with integrity sums, optimal single- and two-level
+checkpoint intervals (Young/Daly and the Di et al. style decomposition),
+fail-stop and bit-flip failure injection, silent-data-corruption
+detectors (checksum / range / ABFT conservation ledger) and selective
+replication.
+"""
+
+from .abft import (
+    AbftError,
+    AbftForceGuard,
+    checksummed_reduce,
+    pairwise_antisymmetry_check,
+)
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .failures import (
+    FailStopInjector,
+    SdcInjector,
+    inject_bitflip,
+    simulate_checkpointing,
+)
+from .interval import (
+    TwoLevelConfig,
+    daly_interval,
+    expected_waste,
+    two_level_intervals,
+    young_interval,
+)
+from .replication import (
+    ReplicaOutcome,
+    run_replicated,
+    selective_replication_overhead,
+)
+from .sdc import (
+    ChecksumDetector,
+    ConservationDetector,
+    RangeDetector,
+    SdcMonitor,
+)
+
+__all__ = [
+    "AbftError",
+    "AbftForceGuard",
+    "checksummed_reduce",
+    "pairwise_antisymmetry_check",
+    "Checkpoint",
+    "CheckpointError",
+    "write_checkpoint",
+    "read_checkpoint",
+    "young_interval",
+    "daly_interval",
+    "expected_waste",
+    "TwoLevelConfig",
+    "two_level_intervals",
+    "FailStopInjector",
+    "simulate_checkpointing",
+    "inject_bitflip",
+    "SdcInjector",
+    "ChecksumDetector",
+    "RangeDetector",
+    "ConservationDetector",
+    "SdcMonitor",
+    "ReplicaOutcome",
+    "run_replicated",
+    "selective_replication_overhead",
+]

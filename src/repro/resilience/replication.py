@@ -1,0 +1,115 @@
+"""Selective replication (Section 5.2: "fault-tolerance is currently being
+addressed via the combination of selective replication, ABFT techniques,
+and optimal checkpointing").
+
+Full duplication doubles the machine; *selective* replication duplicates
+only the work whose silent corruption is hardest to detect otherwise, and
+compares replicas to detect (2 replicas) or correct (3 replicas, voting)
+divergence.  This module provides the replica executor and the cost/
+coverage accounting the ablation bench reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["ReplicaOutcome", "run_replicated", "selective_replication_overhead"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ReplicaOutcome:
+    """Result of a replicated computation."""
+
+    value: np.ndarray
+    agreed: bool
+    corrected: bool
+    max_divergence: float
+
+
+def run_replicated(
+    fn: Callable[[], np.ndarray],
+    n_replicas: int = 2,
+    *,
+    rtol: float = 1e-12,
+    atol: float = 1e-14,
+    corrupt: Callable[[int, np.ndarray], np.ndarray] | None = None,
+) -> ReplicaOutcome:
+    """Execute ``fn`` ``n_replicas`` times and compare/vote.
+
+    Parameters
+    ----------
+    corrupt:
+        Test hook: maps (replica index, result) to the possibly-corrupted
+        result, standing in for hardware faults.
+
+    With two replicas, disagreement is *detected* (``agreed=False``); with
+    three or more, the majority value wins and ``corrected=True`` marks a
+    repaired divergence.  Replicas are compared element-wise within
+    (rtol, atol) — replicated floating-point work is bitwise identical on
+    real machines, but the tolerance keeps the harness honest about any
+    intentional nondeterminism.
+    """
+    if n_replicas < 2:
+        raise ValueError("replication needs at least 2 replicas")
+    results: List[np.ndarray] = []
+    for i in range(n_replicas):
+        r = np.asarray(fn())
+        if corrupt is not None:
+            r = np.asarray(corrupt(i, r))
+        results.append(r)
+    ref = results[0]
+    close = [
+        np.allclose(r, ref, rtol=rtol, atol=atol, equal_nan=True) for r in results
+    ]
+    divergence = max(
+        float(np.max(np.abs(r - ref))) if r.size else 0.0 for r in results
+    )
+    if all(close):
+        return ReplicaOutcome(ref, agreed=True, corrected=False, max_divergence=divergence)
+    if n_replicas == 2:
+        return ReplicaOutcome(ref, agreed=False, corrected=False, max_divergence=divergence)
+    # Majority vote: group replicas by pairwise agreement, pick the biggest.
+    groups: List[List[int]] = []
+    for i, r in enumerate(results):
+        placed = False
+        for g in groups:
+            if np.allclose(r, results[g[0]], rtol=rtol, atol=atol, equal_nan=True):
+                g.append(i)
+                placed = True
+                break
+        if not placed:
+            groups.append([i])
+    groups.sort(key=len, reverse=True)
+    winner = groups[0]
+    if len(winner) <= n_replicas // 2:
+        # No majority: detection without correction.
+        return ReplicaOutcome(ref, agreed=False, corrected=False, max_divergence=divergence)
+    return ReplicaOutcome(
+        results[winner[0]], agreed=False, corrected=True, max_divergence=divergence
+    )
+
+
+def selective_replication_overhead(
+    phase_costs: Sequence[float],
+    replicated_phases: Sequence[int],
+    n_replicas: int = 2,
+) -> float:
+    """Relative step-cost increase of replicating selected phases.
+
+    ``phase_costs`` are per-phase times; replicating phase set S with r
+    replicas costs ``(r - 1) * sum(S)`` extra.  Returns the multiplier on
+    the original step time (1.0 = free, 2.0 = full duplication).
+    """
+    costs = np.asarray(phase_costs, dtype=np.float64)
+    if np.any(costs < 0.0):
+        raise ValueError("phase costs must be non-negative")
+    total = costs.sum()
+    if total <= 0.0:
+        return 1.0
+    selected = costs[list(replicated_phases)].sum()
+    return float((total + (n_replicas - 1) * selected) / total)

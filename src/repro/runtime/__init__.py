@@ -1,0 +1,52 @@
+"""Simulated cluster runtime (the Figures 1-4 substrate).
+
+Machine models of Piz Daint and MareNostrum 4, an MPI-like communication
+layer with modeled costs, the per-phase compute cost model with paper
+anchors, and the strong-scaling experiment driver.
+"""
+
+from .calibration import PAPER_ANCHORS_12CORES, calibrate_kappa
+from .cluster import ClusterModel, StepBreakdown
+from .comm import SimComm
+from .cost_model import GRAVITY_ORDER_MULT, PhaseWeights, particle_work_units
+from .machine import MACHINES, MARENOSTRUM4, PIZ_DAINT, MachineSpec, NetworkSpec
+from .scaling import (
+    PAPER_CORE_COUNTS,
+    ScalingPoint,
+    ScalingSeries,
+    format_scaling_table,
+    strong_scaling,
+)
+from .skeleton import CommSkeleton, SkeletonOp, extract_skeleton
+from .weak_scaling import WeakScalingPoint, WeakScalingSeries, weak_scaling
+from .workloads import TESTS, Workload, build_workload
+
+__all__ = [
+    "PIZ_DAINT",
+    "MARENOSTRUM4",
+    "MACHINES",
+    "MachineSpec",
+    "NetworkSpec",
+    "SimComm",
+    "PhaseWeights",
+    "particle_work_units",
+    "GRAVITY_ORDER_MULT",
+    "ClusterModel",
+    "StepBreakdown",
+    "PAPER_ANCHORS_12CORES",
+    "calibrate_kappa",
+    "PAPER_CORE_COUNTS",
+    "ScalingPoint",
+    "ScalingSeries",
+    "strong_scaling",
+    "format_scaling_table",
+    "Workload",
+    "build_workload",
+    "TESTS",
+    "WeakScalingPoint",
+    "WeakScalingSeries",
+    "weak_scaling",
+    "CommSkeleton",
+    "SkeletonOp",
+    "extract_skeleton",
+]

@@ -1,0 +1,26 @@
+"""Load balancing substrate (Tables 3-4 "Load Balancing").
+
+Dynamic loop self-scheduling (SS/CSS/GSS/factoring/AWF — refs [3, 16, 27]
+of the paper), work stealing (task runtimes of Section 4), and SPH-flow's
+local-inner-outer communication overlap.
+"""
+
+from .overlap import OverlapTiming, local_inner_outer
+from .selfsched import (
+    SCHEMES,
+    ScheduleResult,
+    chunk_sequence,
+    simulate_self_scheduling,
+)
+from .work_stealing import StealResult, simulate_work_stealing
+
+__all__ = [
+    "SCHEMES",
+    "chunk_sequence",
+    "ScheduleResult",
+    "simulate_self_scheduling",
+    "StealResult",
+    "simulate_work_stealing",
+    "OverlapTiming",
+    "local_inner_outer",
+]

@@ -1,0 +1,96 @@
+"""SPH density evaluation (Algorithm 1, step 3).
+
+Implements both volume-element choices of Tables 1-2:
+
+* **standard** — the classic mass-weighted summation
+  ``rho_i = sum_j m_j W(r_ij, h_i)`` used by ChaNGa and SPH-flow.
+* **generalized** — SPHYNX's generalized volume elements (Cabezón,
+  García-Senz & Figueira 2017): a per-particle estimator ``X_i`` defines
+  the volume ``V_i = X_i / kappa_i`` with ``kappa_i = sum_j X_j W_ij``, and
+  ``rho_i = m_i / V_i``.  ``X = m`` recovers the standard summation
+  exactly; ``X = (m / rho_prev)^k`` (0 < k <= 1) reduces the density error
+  at contact discontinuities.
+
+Both run over a gather-compatible CSR neighbour list (self-pair included);
+pairs beyond the support of ``h_i`` contribute exactly zero, so a
+symmetric-mode list may be reused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.base import Kernel
+from ..tree.box import Box
+from ..tree.neighborlist import NeighborList
+
+__all__ = ["compute_density", "grad_h_terms"]
+
+
+def compute_density(
+    particles,
+    nlist: NeighborList,
+    kernel: Kernel,
+    box: Box | None = None,
+    *,
+    volume_elements: str = "standard",
+    xmass_exponent: float = 0.7,
+) -> np.ndarray:
+    """Update ``particles.rho`` in place and return it.
+
+    Parameters
+    ----------
+    volume_elements:
+        ``"standard"`` or ``"generalized"`` (Tables 1-2 "Volume Elements").
+    xmass_exponent:
+        Exponent ``k`` of the generalized estimator ``X = (m/rho_prev)^k``.
+        Ignored for the standard summation.
+    """
+    if volume_elements not in ("standard", "generalized"):
+        raise ValueError(
+            f"volume_elements must be 'standard' or 'generalized', got {volume_elements!r}"
+        )
+    i, j = nlist.pairs()
+    dx, r = nlist.pair_geometry(particles.x, box)
+    dim = particles.dim
+    w = kernel.value(r, particles.h[i], dim)
+
+    if volume_elements == "standard":
+        rho = nlist.reduce(particles.m[j] * w)
+    else:
+        rho_prev = particles.rho
+        if np.any(rho_prev <= 0.0):
+            # First call: bootstrap with a standard summation.
+            rho_prev = nlist.reduce(particles.m[j] * w)
+        xmass = (particles.m / rho_prev) ** float(xmass_exponent)
+        kappa = nlist.reduce(xmass[j] * w)
+        if np.any(kappa <= 0.0):
+            raise ValueError(
+                "generalized volume elements: a particle has no kernel support "
+                "(kappa <= 0); check neighbour lists include the self pair"
+            )
+        rho = particles.m * kappa / xmass
+    particles.rho[:] = rho
+    return particles.rho
+
+
+def grad_h_terms(
+    particles,
+    nlist: NeighborList,
+    kernel: Kernel,
+    box: Box | None = None,
+) -> np.ndarray:
+    """Grad-h correction factors ``Omega_i`` (Springel & Hernquist 2002).
+
+    ``Omega_i = 1 + (h_i / (dim rho_i)) sum_j m_j dW/dh(r_ij, h_i)``.
+    Pressure-gradient terms are divided by ``Omega_i`` to keep the scheme
+    consistent when ``h`` varies in space.
+    """
+    i, j = nlist.pairs()
+    _, r = nlist.pair_geometry(particles.x, box)
+    dim = particles.dim
+    dwdh = kernel.h_derivative(r, particles.h[i], dim)
+    s = nlist.reduce(particles.m[j] * dwdh)
+    omega = 1.0 + particles.h / (dim * particles.rho) * s
+    # Guard against pathological clustering driving Omega toward 0.
+    return np.clip(omega, 0.1, 10.0)

@@ -1,0 +1,125 @@
+"""Equations of state.
+
+Two EOS cover the paper's test cases:
+
+* :class:`IdealGasEOS` — ``P = (gamma - 1) rho u`` with ``gamma = 5/3`` for
+  the Evrard collapse (Section 5.1, "an ideal equation of state with
+  gamma = 5/3 was used").
+* :class:`WeaklyCompressibleEOS` — the Tait/stiffened equation standard in
+  CFD free-surface SPH (SPH-flow's regime), used for the rotating square
+  patch where the physical fluid is incompressible and negative pressures
+  drive the tensile instability the test is designed to provoke.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["EquationOfState", "IdealGasEOS", "WeaklyCompressibleEOS", "IsothermalEOS"]
+
+
+class EquationOfState(abc.ABC):
+    """Maps (rho, u) to pressure and sound speed."""
+
+    name: str = "eos"
+
+    @abc.abstractmethod
+    def pressure(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Pressure for densities ``rho`` and specific internal energies ``u``."""
+
+    @abc.abstractmethod
+    def sound_speed(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Adiabatic sound speed; must be positive for stable time stepping."""
+
+    def apply(self, particles) -> None:
+        """Update ``particles.p`` and ``particles.cs`` in place."""
+        particles.p[:] = self.pressure(particles.rho, particles.u)
+        particles.cs[:] = self.sound_speed(particles.rho, particles.u)
+
+
+class IdealGasEOS(EquationOfState):
+    """Ideal gas ``P = (gamma - 1) rho u``."""
+
+    name = "ideal-gas"
+
+    def __init__(self, gamma: float = 5.0 / 3.0) -> None:
+        if gamma <= 1.0:
+            raise ValueError(f"gamma must exceed 1, got {gamma}")
+        self.gamma = float(gamma)
+
+    def pressure(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return (self.gamma - 1.0) * np.asarray(rho) * np.asarray(u)
+
+    def sound_speed(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        # c^2 = gamma (gamma - 1) u; clamp u at 0 to survive transient
+        # negative internal energies mid-iteration.
+        u = np.maximum(np.asarray(u, dtype=np.float64), 0.0)
+        return np.sqrt(self.gamma * (self.gamma - 1.0) * u)
+
+
+class WeaklyCompressibleEOS(EquationOfState):
+    """Tait equation ``P = c0^2 rho0 / gamma [ (rho/rho0)^gamma - 1 ]``.
+
+    ``c0`` is chosen ~10x the maximum flow speed so density errors stay at
+    the percent level.  Pressure may be *negative* where ``rho < rho0`` —
+    exactly the regime that triggers the tensile instability in the
+    rotating-square-patch test.
+
+    ``pressure_floor`` optionally clamps the (stiff) Tait pressure from
+    below.  Kernel-deficient particles on a *free surface* see densities
+    far under ``rho0`` and, unclamped, Tait turns that into enormous
+    spurious tension (|P| ~ B >> the physical pressure scale), which
+    shreds the surface in a few steps.  A floor a few times the physical
+    negative-pressure scale (for the rotating patch, O(rho0 omega^2 L^2))
+    keeps the interior tensile region — the physics the test probes —
+    while taming the surface artifact.
+    """
+
+    name = "weakly-compressible"
+
+    def __init__(
+        self,
+        rho0: float = 1.0,
+        c0: float = 50.0,
+        gamma: float = 7.0,
+        pressure_floor: float | None = None,
+    ) -> None:
+        if rho0 <= 0.0 or c0 <= 0.0 or gamma <= 0.0:
+            raise ValueError("rho0, c0 and gamma must all be positive")
+        if pressure_floor is not None and pressure_floor > 0.0:
+            raise ValueError("pressure_floor must be <= 0 (it bounds tension)")
+        self.rho0 = float(rho0)
+        self.c0 = float(c0)
+        self.gamma = float(gamma)
+        self.pressure_floor = None if pressure_floor is None else float(pressure_floor)
+
+    def pressure(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        b = self.c0**2 * self.rho0 / self.gamma
+        p = b * ((rho / self.rho0) ** self.gamma - 1.0)
+        if self.pressure_floor is not None:
+            p = np.maximum(p, self.pressure_floor)
+        return p
+
+    def sound_speed(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        return self.c0 * (rho / self.rho0) ** ((self.gamma - 1.0) / 2.0)
+
+
+class IsothermalEOS(EquationOfState):
+    """Isothermal ``P = cs^2 rho`` with constant sound speed."""
+
+    name = "isothermal"
+
+    def __init__(self, cs: float = 1.0) -> None:
+        if cs <= 0.0:
+            raise ValueError(f"cs must be positive, got {cs}")
+        self.cs = float(cs)
+
+    def pressure(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return self.cs**2 * np.asarray(rho)
+
+    def sound_speed(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(rho, dtype=np.float64), self.cs)

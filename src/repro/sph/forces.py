@@ -1,0 +1,165 @@
+"""Momentum and energy equations (Algorithm 1, step 3).
+
+One fused pass over the pair list evaluates the pressure-gradient
+acceleration and the internal-energy rate:
+
+    dv_i/dt = - sum_j m_j [ P_i/(Omega_i rho_i^2) G^(i)_ij
+                          + P_j/(Omega_j rho_j^2) G^(j)_ij
+                          + Pi_ij Gbar_ij ]
+    du_i/dt =   P_i/(Omega_i rho_i^2) sum_j m_j v_ij . G^(i)_ij
+              + 1/2 sum_j m_j Pi_ij v_ij . Gbar_ij
+
+where ``G`` is either the standard kernel gradient or the IAD operator
+(Tables 1-2 "Gradients"), ``Pi_ij`` the Monaghan artificial viscosity and
+``Omega`` the optional grad-h factors.  Because ``G_ij = -G_ji`` for both
+operators, the pairwise exchange conserves linear momentum exactly (and
+angular momentum for the standard operator, which is central).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..gradients.iad import compute_iad_matrices, iad_pair_gradients
+from ..gradients.kernel_gradient import kernel_pair_gradients
+from ..kernels.base import Kernel
+from ..tree.box import Box
+from ..tree.neighborlist import NeighborList
+from .density import grad_h_terms
+from .viscosity import ViscosityParams, balsara_switch, pairwise_viscosity
+
+__all__ = ["ForceResult", "compute_forces", "velocity_divergence_curl"]
+
+
+@dataclass(frozen=True)
+class ForceResult:
+    """Output of the force loop."""
+
+    a: np.ndarray
+    du: np.ndarray
+    max_mu: float  # viscous signal speed diagnostic for the time step
+
+
+def velocity_divergence_curl(
+    particles,
+    nlist: NeighborList,
+    kernel: Kernel,
+    box: Box | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SPH estimates of ``div v`` and ``|curl v|`` per particle."""
+    i, j = nlist.pairs()
+    dx, r = nlist.pair_geometry(particles.x, box)
+    dim = particles.dim
+    grad = kernel.gradient(dx, r, particles.h[i], dim)
+    v_ij = particles.v[i] - particles.v[j]
+    mj = particles.m[j]
+    div = -nlist.reduce(mj * np.einsum("kd,kd->k", v_ij, grad)) / particles.rho
+    if dim == 3:
+        cross = np.cross(v_ij, grad)
+        curl_vec = nlist.reduce(mj[:, None] * cross)
+        curl = np.sqrt(np.einsum("kd,kd->k", curl_vec, curl_vec)) / particles.rho
+    elif dim == 2:
+        cz = v_ij[:, 0] * grad[:, 1] - v_ij[:, 1] * grad[:, 0]
+        curl = np.abs(nlist.reduce(mj * cz)) / particles.rho
+    else:
+        curl = np.zeros(particles.n)
+    return div, curl
+
+
+def compute_forces(
+    particles,
+    nlist: NeighborList,
+    kernel: Kernel,
+    box: Box | None = None,
+    *,
+    gradients: str = "standard",
+    viscosity: ViscosityParams = ViscosityParams(),
+    grad_h: bool = False,
+    c_matrices: np.ndarray | None = None,
+) -> ForceResult:
+    """Evaluate accelerations and energy rates; updates particles in place.
+
+    Parameters
+    ----------
+    gradients:
+        ``"standard"`` (kernel derivatives) or ``"iad"``.
+    c_matrices:
+        Pre-computed IAD matrices; computed here when omitted.
+    grad_h:
+        Apply grad-h ``Omega`` corrections to the pressure terms.
+    """
+    if gradients not in ("standard", "iad"):
+        raise ValueError(f"gradients must be 'standard' or 'iad', got {gradients!r}")
+    if np.any(particles.rho <= 0.0):
+        raise ValueError("densities must be computed (positive) before forces")
+
+    i, j = nlist.pairs()
+    dx, r = nlist.pair_geometry(particles.x, box)
+    dim = particles.dim
+    h_i = particles.h[i]
+    h_j = particles.h[j]
+
+    if gradients == "standard":
+        pg = kernel_pair_gradients(kernel, dx, r, h_i, h_j, dim)
+    else:
+        if c_matrices is None:
+            c_matrices = compute_iad_matrices(particles, nlist, kernel, box)
+        pg = iad_pair_gradients(c_matrices, kernel, i, j, dx, r, h_i, h_j, dim)
+
+    omega = (
+        grad_h_terms(particles, nlist, kernel, box)
+        if grad_h
+        else np.ones(particles.n)
+    )
+    p_over = particles.p / (omega * particles.rho**2)
+
+    v_ij = particles.v[i] - particles.v[j]
+    balsara_i = balsara_j = None
+    if viscosity.use_balsara:
+        div_v, curl_v = velocity_divergence_curl(particles, nlist, kernel, box)
+        f = balsara_switch(div_v, curl_v, particles.cs, particles.h)
+        balsara_i, balsara_j = f[i], f[j]
+    pi_ij = pairwise_viscosity(
+        viscosity,
+        dx,
+        r,
+        v_ij,
+        h_i,
+        h_j,
+        particles.rho[i],
+        particles.rho[j],
+        particles.cs[i],
+        particles.cs[j],
+        balsara_i,
+        balsara_j,
+    )
+
+    mj = particles.m[j]
+    gbar = pg.mean
+    pressure_pair = p_over[i][:, None] * pg.gi + p_over[j][:, None] * pg.gj
+    acc_pair = -mj[:, None] * (pressure_pair + pi_ij[:, None] * gbar)
+    a = nlist.reduce(acc_pair)
+
+    vdot_gi = np.einsum("kd,kd->k", v_ij, pg.gi)
+    vdot_gbar = np.einsum("kd,kd->k", v_ij, gbar)
+    du = p_over * nlist.reduce(mj * vdot_gi) + 0.5 * nlist.reduce(
+        mj * pi_ij * vdot_gbar
+    )
+
+    # Viscous signal diagnostic: max |mu_ij| enters the CFL criterion.
+    hbar = 0.5 * (h_i + h_j)
+    vdotr = np.einsum("kd,kd->k", v_ij, dx)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mu = np.where(
+            vdotr < 0.0,
+            hbar * vdotr / (r * r + viscosity.eta**2 * hbar * hbar),
+            0.0,
+        )
+    max_mu = float(np.abs(mu).max()) if mu.size else 0.0
+
+    particles.a[:] = a
+    particles.du[:] = du
+    return ForceResult(a=particles.a, du=particles.du, max_mu=max_mu)

@@ -1,0 +1,35 @@
+"""Time stepping: criteria, selection policies, leapfrog integration.
+
+Covers step 5-6 of Algorithm 1 and the "Time-Stepping" rows of Tables 1-2
+(Global, Individual/block rungs, Adaptive).
+"""
+
+from .criteria import (
+    TimestepParams,
+    acceleration_timestep,
+    combined_timestep,
+    courant_timestep,
+    energy_timestep,
+)
+from .integrator import apply_energy_floor, drift, kick
+from .steppers import (
+    AdaptiveTimestep,
+    GlobalTimestep,
+    IndividualTimesteps,
+    RungSchedule,
+)
+
+__all__ = [
+    "TimestepParams",
+    "courant_timestep",
+    "acceleration_timestep",
+    "energy_timestep",
+    "combined_timestep",
+    "kick",
+    "drift",
+    "apply_energy_floor",
+    "GlobalTimestep",
+    "AdaptiveTimestep",
+    "IndividualTimesteps",
+    "RungSchedule",
+]

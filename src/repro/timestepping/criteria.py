@@ -1,0 +1,95 @@
+"""Per-particle time-step criteria (Algorithm 1, step 5).
+
+Step 5 computes "a new physically relevant and numerically stable
+time-step".  Three standard criteria are combined:
+
+* Courant (CFL): ``dt = C h / (c + 1.2 (alpha c + beta h |mu|))`` — the
+  signal-velocity form including the viscous contribution.
+* Acceleration: ``dt = C sqrt(h / |a|)`` — resolves rapid force changes
+  (dominant in the Evrard free-fall stage).
+* Energy: ``dt = C u / |du/dt|`` — guards the internal-energy update
+  through shocks.
+
+Each returns a per-particle array; the reductions live in the stepper
+modules (global minimum vs per-particle bins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TimestepParams", "courant_timestep", "acceleration_timestep", "energy_timestep", "combined_timestep"]
+
+
+@dataclass(frozen=True)
+class TimestepParams:
+    """Safety factors for the three criteria."""
+
+    courant: float = 0.3
+    accel: float = 0.25
+    energy: float = 0.3
+    alpha_visc: float = 1.0
+    beta_visc: float = 2.0
+    #: Per-step growth limiter: dt may rise by at most this factor.
+    max_growth: float = 1.25
+    #: Disable for barotropic/weakly-compressible runs where u is not a
+    #: dynamical variable (the criterion would track numerical noise).
+    use_energy_criterion: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("courant", "accel", "energy", "max_growth"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} factor must be positive")
+
+
+def courant_timestep(
+    h: np.ndarray,
+    cs: np.ndarray,
+    max_mu: float = 0.0,
+    params: TimestepParams = TimestepParams(),
+) -> np.ndarray:
+    """CFL criterion with Monaghan's viscous signal correction.
+
+    Infinite where the signal speed vanishes (cold, static gas) — the
+    combined criterion then falls back to acceleration/energy.
+    """
+    signal = cs + 1.2 * (params.alpha_visc * cs + params.beta_visc * abs(max_mu))
+    with np.errstate(divide="ignore"):
+        dt = params.courant * h / np.where(signal > 0.0, signal, 1.0)
+    return np.where(signal > 0.0, dt, np.inf)
+
+
+def acceleration_timestep(
+    h: np.ndarray, a: np.ndarray, params: TimestepParams = TimestepParams()
+) -> np.ndarray:
+    """Acceleration criterion ``C sqrt(h/|a|)``; infinite where a == 0."""
+    amag = np.sqrt(np.einsum("ij,ij->i", a, a))
+    with np.errstate(divide="ignore"):
+        dt = params.accel * np.sqrt(h / np.where(amag > 0.0, amag, 1.0))
+    return np.where(amag > 0.0, dt, np.inf)
+
+
+def energy_timestep(
+    u: np.ndarray, du: np.ndarray, params: TimestepParams = TimestepParams()
+) -> np.ndarray:
+    """Internal-energy criterion ``C u/|du|``; infinite where du == 0."""
+    du_abs = np.abs(du)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dt = params.energy * np.abs(u) / np.where(du_abs > 0.0, du_abs, 1.0)
+    return np.where((np.abs(u) > 0.0) & (du_abs > 0.0), dt, np.inf)
+
+
+def combined_timestep(
+    particles,
+    max_mu: float = 0.0,
+    params: TimestepParams = TimestepParams(),
+    include_energy: bool = True,
+) -> np.ndarray:
+    """Element-wise minimum of all active criteria per particle."""
+    dt = courant_timestep(particles.h, particles.cs, max_mu, params)
+    dt = np.minimum(dt, acceleration_timestep(particles.h, particles.a, params))
+    if include_energy and params.use_energy_criterion:
+        dt = np.minimum(dt, energy_timestep(particles.u, particles.du, params))
+    return dt

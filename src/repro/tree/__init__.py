@@ -1,0 +1,32 @@
+"""Tree and neighbour-search substrate (Algorithm 1, steps 1-2).
+
+Morton/Hilbert space-filling-curve keys, a linear Barnes-Hut octree with a
+vectorized tree-walk neighbour search (the paper-faithful path, Table 1
+"Tree Walk"), a uniform cell-grid fast path, and the CSR neighbour-list
+container every SPH kernel consumes.
+"""
+
+from .box import Box
+from .cellgrid import CellGrid, cell_grid_search
+from .morton import (
+    hilbert_encode,
+    hilbert_keys,
+    morton_decode,
+    morton_encode,
+    morton_keys,
+)
+from .neighborlist import NeighborList
+from .octree import Octree
+
+__all__ = [
+    "Box",
+    "CellGrid",
+    "cell_grid_search",
+    "NeighborList",
+    "Octree",
+    "morton_encode",
+    "morton_decode",
+    "morton_keys",
+    "hilbert_encode",
+    "hilbert_keys",
+]

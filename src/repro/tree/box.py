@@ -1,0 +1,106 @@
+"""Simulation bounding box with optional periodic axes.
+
+The rotating-square-patch test (Section 5.1) applies periodic boundary
+conditions along Z so that the 100-layer cube reproduces the original 2-D
+test; the Evrard collapse is fully open.  The box therefore carries a
+per-axis periodicity flag and implements the minimum-image convention for
+separation vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned box ``[lo, hi]`` with per-axis periodicity."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    periodic: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        lo = np.atleast_1d(np.asarray(self.lo, dtype=np.float64))
+        hi = np.atleast_1d(np.asarray(self.hi, dtype=np.float64))
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError(f"lo/hi must be matching 1-D arrays, got {lo}, {hi}")
+        if np.any(hi <= lo):
+            raise ValueError(f"box must have positive extent: lo={lo}, hi={hi}")
+        periodic = self.periodic
+        if periodic is None:
+            periodic = np.zeros(lo.shape, dtype=bool)
+        else:
+            periodic = np.atleast_1d(np.asarray(periodic, dtype=bool))
+            if periodic.shape != lo.shape:
+                raise ValueError("periodic must have one flag per axis")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "periodic", periodic)
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.lo.shape[0]
+
+    @property
+    def span(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.span))
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, x: np.ndarray) -> np.ndarray:
+        """Boolean mask of positions inside the closed box."""
+        x = np.atleast_2d(x)
+        return np.all((x >= self.lo) & (x <= self.hi), axis=1)
+
+    # ------------------------------------------------------------------
+    def wrap(self, x: np.ndarray) -> np.ndarray:
+        """Fold positions back into the box along periodic axes."""
+        x = np.array(x, dtype=np.float64, copy=True)
+        span = self.span
+        for axis in np.nonzero(self.periodic)[0]:
+            x[:, axis] = (
+                np.mod(x[:, axis] - self.lo[axis], span[axis]) + self.lo[axis]
+            )
+        return x
+
+    def min_image(self, dx: np.ndarray) -> np.ndarray:
+        """Minimum-image separation vectors for periodic axes (in place safe)."""
+        dx = np.array(dx, dtype=np.float64, copy=True)
+        span = self.span
+        for axis in np.nonzero(self.periodic)[0]:
+            dx[..., axis] -= span[axis] * np.round(dx[..., axis] / span[axis])
+        return dx
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def cube(
+        cls, lo: float, hi: float, dim: int = 3, periodic: bool = False
+    ) -> "Box":
+        """Cubic box with identical bounds (and periodicity) on every axis."""
+        return cls(
+            lo=np.full(dim, float(lo)),
+            hi=np.full(dim, float(hi)),
+            periodic=np.full(dim, bool(periodic)),
+        )
+
+    @classmethod
+    def bounding(cls, x: np.ndarray, pad: float = 1e-3) -> "Box":
+        """Smallest box containing all positions, padded by ``pad`` fraction."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        lo = x.min(axis=0)
+        hi = x.max(axis=0)
+        span = np.maximum(hi - lo, 1e-300)
+        margin = pad * np.maximum(span, 1.0e-12)
+        return cls(lo=lo - margin, hi=hi + margin)

@@ -1,0 +1,109 @@
+"""Compressed (CSR) neighbour-list container.
+
+SPH spends essentially all of its time looping over particle-neighbour
+pairs (Algorithm 1, steps 2-3).  The library represents the interaction
+lists in CSR form — one flat ``indices`` array plus per-particle
+``offsets`` — so that every SPH kernel can be written as vectorized numpy
+over the flat pair arrays followed by segmented reductions
+(``np.add.reduceat`` / ``np.bincount``), with no per-particle Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .box import Box
+
+__all__ = ["NeighborList"]
+
+
+@dataclass(frozen=True)
+class NeighborList:
+    """CSR neighbour lists for ``n`` query particles.
+
+    ``indices[offsets[i]:offsets[i+1]]`` are the neighbours of particle
+    ``i``.  ``pair_i()`` expands the implicit query index to one entry per
+    pair for use in flat vectorized kernels.
+    """
+
+    offsets: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 1:
+            raise ValueError("offsets must be a non-empty 1-D array")
+        if offsets[0] != 0 or np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must start at 0 and be non-decreasing")
+        if offsets[-1] != indices.size:
+            raise ValueError(
+                f"offsets[-1]={offsets[-1]} must equal len(indices)={indices.size}"
+            )
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "indices", indices)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of query particles."""
+        return self.offsets.size - 1
+
+    @property
+    def n_pairs(self) -> int:
+        """Total number of (i, j) interaction pairs."""
+        return self.indices.size
+
+    def counts(self) -> np.ndarray:
+        """Neighbour count per query particle."""
+        return np.diff(self.offsets)
+
+    def pair_i(self) -> np.ndarray:
+        """Query index ``i`` for every pair (aligned with ``indices``)."""
+        return np.repeat(np.arange(self.n, dtype=np.int64), self.counts())
+
+    def pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(i, j)`` index arrays, one entry per interaction pair."""
+        return self.pair_i(), self.indices
+
+    def neighbors_of(self, i: int) -> np.ndarray:
+        """Neighbour indices of a single particle (for tests/diagnostics)."""
+        return self.indices[self.offsets[i] : self.offsets[i + 1]]
+
+    # ------------------------------------------------------------------
+    def pair_geometry(
+        self, x: np.ndarray, box: Box | None = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Separation vectors and distances for every pair.
+
+        Returns ``(dx, r)`` with ``dx[k] = x_i - x_j`` under the minimum
+        image convention of ``box`` (if given) and ``r = |dx|``.
+        """
+        i, j = self.pairs()
+        dx = x[i] - x[j]
+        if box is not None:
+            dx = box.min_image(dx)
+        r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+        return dx, r
+
+    def reduce(self, values: np.ndarray) -> np.ndarray:
+        """Sum per-pair ``values`` into per-query-particle totals.
+
+        Works for flat ``(n_pairs,)`` arrays and ``(n_pairs, k)`` stacks.
+        Particles with zero neighbours contribute zeros.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self.n_pairs:
+            raise ValueError(
+                f"values has leading size {values.shape[0]}, expected {self.n_pairs}"
+            )
+        i = self.pair_i()
+        if values.ndim == 1:
+            return np.bincount(i, weights=values, minlength=self.n)
+        out = np.empty((self.n,) + values.shape[1:], dtype=np.float64)
+        for col in range(values.shape[1]):
+            out[:, col] = np.bincount(i, weights=values[:, col], minlength=self.n)
+        return out

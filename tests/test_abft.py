@@ -1,0 +1,120 @@
+"""ABFT invariant checks for SPH reductions and force loops."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import make_kernel
+from repro.resilience.abft import (
+    AbftError,
+    AbftForceGuard,
+    checksummed_reduce,
+    pairwise_antisymmetry_check,
+)
+from repro.sph.density import compute_density
+from repro.sph.eos import IdealGasEOS
+from repro.sph.forces import compute_forces
+from repro.tree.box import Box
+from repro.tree.cellgrid import cell_grid_search
+from repro.tree.neighborlist import NeighborList
+
+
+def _simple_list():
+    return NeighborList(offsets=np.array([0, 2, 3, 3]), indices=np.array([1, 2, 0]))
+
+
+def test_checksummed_reduce_passes_clean():
+    nl = _simple_list()
+    vals = np.array([1.0, 2.0, 3.0])
+    out = checksummed_reduce(nl, vals)
+    assert out.tolist() == [3.0, 3.0, 0.0]
+
+
+def test_checksummed_reduce_detects_broken_reduction(monkeypatch):
+    """Corrupt the reduction (not the inputs): the identity must break."""
+    nl = _simple_list()
+    vals = np.array([1.0, 2.0, 3.0])
+    true_reduce = NeighborList.reduce
+
+    def corrupted(self, values):
+        out = true_reduce(self, values)
+        out[0] += 5.0  # an accumulator fault
+        return out
+
+    monkeypatch.setattr(NeighborList, "reduce", corrupted)
+    with pytest.raises(AbftError, match="checksum"):
+        checksummed_reduce(nl, vals)
+
+
+def test_checksummed_reduce_soft_mode(monkeypatch):
+    nl = _simple_list()
+    true_reduce = NeighborList.reduce
+    monkeypatch.setattr(
+        NeighborList, "reduce", lambda self, v: true_reduce(self, v) + 1.0
+    )
+    out = checksummed_reduce(nl, np.ones(3), raise_on_error=False)
+    assert out is not None  # soft mode returns despite the violation
+
+
+def test_antisymmetry_residual_zero_for_symmetric_forces(rng):
+    """A genuinely antisymmetric pair-force set has ~zero residual."""
+    # Build a symmetric pair list over a small cloud.
+    x = rng.random((50, 3))
+    box = Box.cube(0.0, 1.0, dim=3)
+    nl = cell_grid_search(x, 0.3, box, mode="symmetric", include_self=False)
+    i, j = nl.pairs()
+    dx = x[i] - x[j]
+    forces = dx * 3.7  # antisymmetric by construction
+    assert pairwise_antisymmetry_check(nl, forces) < 1e-12
+
+
+def test_antisymmetry_detects_corrupted_pair(rng):
+    x = rng.random((50, 3))
+    box = Box.cube(0.0, 1.0, dim=3)
+    nl = cell_grid_search(x, 0.3, box, mode="symmetric", include_self=False)
+    i, j = nl.pairs()
+    forces = (x[i] - x[j]) * 3.7
+    forces[0] += np.array([10.0, 0.0, 0.0])  # one corrupted contribution
+    residual = pairwise_antisymmetry_check(nl, forces)
+    assert residual > 1e-4
+
+
+def test_antisymmetry_shape_validation():
+    nl = _simple_list()
+    with pytest.raises(ValueError, match="pair_forces"):
+        pairwise_antisymmetry_check(nl, np.zeros((5, 3)))
+
+
+def test_force_guard_clean_on_real_loop(random_cloud):
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    kernel = make_kernel("m4")
+    nl = cell_grid_search(random_cloud.x, 2 * random_cloud.h, box, mode="symmetric")
+    random_cloud.u[:] = 1.0
+    compute_density(random_cloud, nl, kernel, box)
+    IdealGasEOS().apply(random_cloud)
+    compute_forces(random_cloud, nl, kernel, box)
+    guard = AbftForceGuard()
+    assert guard.verify(random_cloud) == []
+    assert guard.checks_run == 1
+    assert guard.violations == 0
+
+
+def test_force_guard_detects_corrupted_acceleration(random_cloud):
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    kernel = make_kernel("m4")
+    nl = cell_grid_search(random_cloud.x, 2 * random_cloud.h, box, mode="symmetric")
+    random_cloud.u[:] = 1.0
+    compute_density(random_cloud, nl, kernel, box)
+    IdealGasEOS().apply(random_cloud)
+    compute_forces(random_cloud, nl, kernel, box)
+    guard = AbftForceGuard()
+    random_cloud.a[7] += 1e3  # silent corruption of one particle's force
+    findings = guard.verify(random_cloud)
+    assert any("Newton-III" in f for f in findings)
+    assert guard.violations == 1
+
+
+def test_force_guard_detects_nan(random_cloud):
+    random_cloud.a[:] = 0.0
+    random_cloud.a[0, 0] = np.nan
+    findings = AbftForceGuard().verify(random_cloud)
+    assert any("non-finite accelerations" in f for f in findings)

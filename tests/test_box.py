@@ -1,0 +1,91 @@
+"""Box: wrapping, minimum image, construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.box import Box
+
+
+def test_cube_and_properties():
+    box = Box.cube(-1.0, 3.0, dim=3, periodic=True)
+    assert box.dim == 3
+    assert np.allclose(box.span, 4.0)
+    assert box.volume == pytest.approx(64.0)
+    assert np.allclose(box.center, 1.0)
+    assert np.all(box.periodic)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="positive extent"):
+        Box(lo=np.zeros(3), hi=np.zeros(3))
+    with pytest.raises(ValueError, match="matching"):
+        Box(lo=np.zeros(3), hi=np.ones(2))
+    with pytest.raises(ValueError, match="one flag per axis"):
+        Box(lo=np.zeros(3), hi=np.ones(3), periodic=np.array([True]))
+
+
+def test_wrap_only_periodic_axes():
+    box = Box(
+        lo=np.zeros(3), hi=np.ones(3), periodic=np.array([True, False, False])
+    )
+    x = np.array([[1.2, 1.2, -0.3]])
+    w = box.wrap(x)
+    assert w[0, 0] == pytest.approx(0.2)
+    assert w[0, 1] == pytest.approx(1.2)  # untouched
+    assert w[0, 2] == pytest.approx(-0.3)
+
+
+def test_min_image():
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    dx = np.array([[0.9, -0.9, 0.2]])
+    mi = box.min_image(dx)
+    assert np.allclose(mi, [[-0.1, 0.1, 0.2]])
+
+
+def test_min_image_noop_for_open_box():
+    box = Box.cube(0.0, 1.0, dim=3, periodic=False)
+    dx = np.array([[0.9, -0.9, 0.2]])
+    assert np.allclose(box.min_image(dx), dx)
+
+
+def test_contains():
+    box = Box.cube(0.0, 1.0, dim=2)
+    inside = box.contains(np.array([[0.5, 0.5], [1.5, 0.5]]))
+    assert inside.tolist() == [True, False]
+
+
+def test_bounding_box_contains_all_points():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(100, 3)) * 5
+    box = Box.bounding(x)
+    assert np.all(box.contains(x))
+
+
+@given(
+    coords=st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_wrap_lands_inside_property(coords):
+    box = Box.cube(-1.0, 1.0, dim=3, periodic=True)
+    w = box.wrap(np.array([coords]))
+    assert np.all(w >= box.lo - 1e-12) and np.all(w <= box.hi + 1e-12)
+
+
+@given(
+    dx=st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_min_image_within_half_span_property(dx):
+    box = Box.cube(0.0, 2.0, dim=3, periodic=True)
+    mi = box.min_image(np.array([dx]))
+    assert np.all(np.abs(mi) <= 1.0 + 1e-9)

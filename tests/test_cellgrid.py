@@ -1,0 +1,107 @@
+"""Cell-grid neighbour search vs brute force, all modes and boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.tree.box import Box
+from repro.tree.cellgrid import CellGrid, cell_grid_search
+
+
+def _brute_force(x, radii, box, mode, include_self):
+    n = x.shape[0]
+    xw = box.wrap(x)
+    out = []
+    for i in range(n):
+        dx = box.min_image(xw[i] - xw)
+        r = np.linalg.norm(dx, axis=1)
+        if mode == "gather":
+            cutoff = radii[i]
+            keep = r <= cutoff
+        else:
+            keep = r <= np.maximum(radii[i], radii)
+        if not include_self:
+            keep[i] = False
+        out.append(set(np.nonzero(keep)[0].tolist()))
+    return out
+
+
+@pytest.mark.parametrize("mode", ["gather", "symmetric"])
+@pytest.mark.parametrize("periodic", [False, True])
+def test_matches_brute_force(mode, periodic, rng):
+    n = 300
+    x = rng.random((n, 3))
+    radii = rng.uniform(0.05, 0.15, n)
+    box = Box.cube(0.0, 1.0, dim=3, periodic=periodic)
+    nl = cell_grid_search(x, radii, box, mode=mode)
+    expected = _brute_force(x, radii, box, mode, include_self=True)
+    for i in range(n):
+        assert set(nl.neighbors_of(i).tolist()) == expected[i], f"particle {i}"
+
+
+def test_exclude_self(rng):
+    x = rng.random((50, 3))
+    box = Box.cube(0.0, 1.0, dim=3)
+    nl = cell_grid_search(x, 0.2, box, include_self=False)
+    i, j = nl.pairs()
+    assert not np.any(i == j)
+
+
+def test_symmetric_mode_is_symmetric(rng):
+    x = rng.random((200, 3))
+    radii = rng.uniform(0.05, 0.2, 200)
+    box = Box.cube(0.0, 1.0, dim=3)
+    nl = cell_grid_search(x, radii, box, mode="symmetric", include_self=False)
+    pairs = set(zip(*map(lambda a: a.tolist(), nl.pairs())))
+    for (i, j) in pairs:
+        assert (j, i) in pairs
+
+
+def test_small_chunk_equals_large_chunk(rng):
+    x = rng.random((137, 3))
+    box = Box.cube(0.0, 1.0, dim=3)
+    a = cell_grid_search(x, 0.12, box, chunk=16)
+    b = cell_grid_search(x, 0.12, box, chunk=100000)
+    assert np.array_equal(a.offsets, b.offsets)
+    for i in range(137):
+        assert set(a.neighbors_of(i).tolist()) == set(b.neighbors_of(i).tolist())
+
+
+def test_two_dimensional(rng):
+    x = rng.random((150, 2))
+    box = Box.cube(0.0, 1.0, dim=2, periodic=True)
+    nl = cell_grid_search(x, 0.1, box)
+    expected = _brute_force(x, np.full(150, 0.1), box, "gather", True)
+    for i in range(150):
+        assert set(nl.neighbors_of(i).tolist()) == expected[i]
+
+
+def test_periodic_few_cells_no_duplicates():
+    """Periodic axis with < 3 cells must not double-count candidates."""
+    x = np.array([[0.1, 0.5, 0.5], [0.6, 0.5, 0.5], [0.35, 0.5, 0.5]])
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    nl = cell_grid_search(x, 0.45, box)  # cell width ~ 0.45 -> 2 cells/axis
+    for i in range(3):
+        neigh = nl.neighbors_of(i).tolist()
+        assert len(neigh) == len(set(neigh)), "duplicate neighbour"
+
+
+def test_empty_input():
+    nl = cell_grid_search(np.empty((0, 3)), np.empty(0) + 1.0, Box.cube(0, 1, 3))
+    assert nl.n == 0
+    assert nl.n_pairs == 0
+
+
+def test_errors():
+    x = np.random.default_rng(0).random((10, 3))
+    with pytest.raises(ValueError, match="radii must be positive"):
+        cell_grid_search(x, 0.0)
+    with pytest.raises(ValueError, match="mode"):
+        cell_grid_search(x, 0.1, mode="bogus")
+    with pytest.raises(ValueError, match="cell width"):
+        CellGrid(x, Box.cube(0, 1, 3), cell_width=-1.0)
+
+
+def test_particle_outside_open_box_rejected():
+    x = np.array([[2.0, 0.5, 0.5]])
+    with pytest.raises(ValueError, match="outside the box"):
+        CellGrid(x, Box.cube(0.0, 1.0, dim=3), cell_width=0.1)

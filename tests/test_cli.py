@@ -1,0 +1,42 @@
+"""CLI surface: the Section-2 "handful of command line arguments"."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 4" in out
+    assert "SPHYNX" in out and "SPH-EXA" in out
+
+
+def test_run_squarepatch(capsys):
+    rc = main(["run", "squarepatch", "--side", "8", "--layers", "4",
+               "--steps", "1", "--neighbors", "25", "--preset", "sph-flow"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "squarepatch: 256 particles" in out
+    assert "drift:" in out
+
+
+def test_run_evrard(capsys):
+    rc = main(["run", "evrard", "--n", "500", "--steps", "1",
+               "--neighbors", "25", "--preset", "sphynx"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "evrard" in out and "E_pot=" in out
+
+
+def test_scaling_command(capsys):
+    rc = main(["scaling", "--code", "sph-flow", "--test", "square",
+               "--n", "50000", "--steps", "1", "--cores", "12,48"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cores" in out and "LB=" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

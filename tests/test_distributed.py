@@ -1,0 +1,73 @@
+"""Distributed density over SimComm == serial density, exactly."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import make_kernel
+from repro.profiling.trace import State
+from repro.runtime.comm import SimComm
+from repro.runtime.distributed import distributed_density, exchange_ghosts
+from repro.runtime.machine import PIZ_DAINT
+from repro.sph.density import compute_density
+from repro.tree.box import Box
+from repro.tree.cellgrid import cell_grid_search
+from repro.domain.decomposition import decompose
+
+
+@pytest.fixture
+def cloud(rng):
+    from repro.core.particles import ParticleSystem
+
+    n = 800
+    p = ParticleSystem(
+        x=rng.random((n, 3)),
+        v=np.zeros((n, 3)),
+        m=rng.uniform(0.5, 1.5, n) / n,
+        h=np.full(n, 0.07),
+    )
+    return p
+
+
+@pytest.mark.parametrize("method", ["sfc-hilbert", "orb", "uniform-slabs"])
+@pytest.mark.parametrize("n_ranks", [2, 5])
+def test_distributed_density_matches_serial(cloud, method, n_ranks):
+    box = Box.cube(0.0, 1.0, dim=3)
+    kernel = make_kernel("m4")
+    serial = cloud.copy()
+    nl = cell_grid_search(serial.x, 2 * serial.h, box, mode="symmetric")
+    rho_serial = compute_density(serial, nl, kernel, box).copy()
+
+    comm = SimComm(n_ranks, PIZ_DAINT.network)
+    rho_dist = distributed_density(cloud, box, kernel, comm, method=method)
+    assert np.allclose(rho_dist, rho_serial, rtol=1e-13, atol=1e-300)
+
+
+def test_distributed_density_periodic(cloud):
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    kernel = make_kernel("wendland-c2")
+    serial = cloud.copy()
+    nl = cell_grid_search(serial.x, 2 * serial.h, box, mode="symmetric")
+    rho_serial = compute_density(serial, nl, kernel, box).copy()
+    comm = SimComm(4, PIZ_DAINT.network)
+    rho_dist = distributed_density(cloud, box, kernel, comm)
+    assert np.allclose(rho_dist, rho_serial, rtol=1e-13)
+
+
+def test_exchange_charges_communication(cloud):
+    box = Box.cube(0.0, 1.0, dim=3)
+    comm = SimComm(4, PIZ_DAINT.network)
+    d = decompose("orb", cloud.x, 4, box)
+    ghosts = exchange_ghosts(comm, cloud, box, d.assignment, 2 * cloud.h)
+    assert sum(g.size for g in ghosts.values()) > 0
+    assert comm.stats["p2p_messages"] > 0
+    assert comm.stats["p2p_bytes"] > 0
+    assert any(e.state is State.MPI for e in comm.tracer.events)
+
+
+def test_ghosts_are_remote_only(cloud):
+    box = Box.cube(0.0, 1.0, dim=3)
+    comm = SimComm(3, PIZ_DAINT.network)
+    d = decompose("sfc-morton", cloud.x, 3, box)
+    ghosts = exchange_ghosts(comm, cloud, box, d.assignment, 2 * cloud.h)
+    for r, idx in ghosts.items():
+        assert np.all(d.assignment[idx] != r)

@@ -1,0 +1,87 @@
+"""Equations of state: relations, sound speeds, floors, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sph.eos import IdealGasEOS, IsothermalEOS, WeaklyCompressibleEOS
+
+
+def test_ideal_gas_relation():
+    eos = IdealGasEOS(gamma=5.0 / 3.0)
+    rho = np.array([1.0, 2.0])
+    u = np.array([0.3, 0.6])
+    p = eos.pressure(rho, u)
+    assert np.allclose(p, (5.0 / 3.0 - 1.0) * rho * u)
+    cs = eos.sound_speed(rho, u)
+    assert np.allclose(cs**2, (5.0 / 3.0) * (5.0 / 3.0 - 1.0) * u)
+
+
+def test_ideal_gas_negative_u_clamped_in_cs():
+    eos = IdealGasEOS()
+    cs = eos.sound_speed(np.array([1.0]), np.array([-0.1]))
+    assert cs[0] == 0.0
+
+
+def test_ideal_gas_gamma_validation():
+    with pytest.raises(ValueError, match="gamma"):
+        IdealGasEOS(gamma=1.0)
+
+
+def test_tait_reference_state():
+    eos = WeaklyCompressibleEOS(rho0=1.0, c0=10.0, gamma=7.0)
+    assert eos.pressure(np.array([1.0]), np.array([0.0]))[0] == pytest.approx(0.0)
+    assert eos.sound_speed(np.array([1.0]), np.array([0.0]))[0] == pytest.approx(10.0)
+
+
+def test_tait_negative_pressure_below_rho0():
+    eos = WeaklyCompressibleEOS(rho0=1.0, c0=10.0, gamma=7.0)
+    p = eos.pressure(np.array([0.95]), np.array([0.0]))
+    assert p[0] < 0.0
+
+
+def test_tait_pressure_floor():
+    eos = WeaklyCompressibleEOS(rho0=1.0, c0=10.0, gamma=7.0, pressure_floor=-1.0)
+    p = eos.pressure(np.array([0.5]), np.array([0.0]))
+    assert p[0] == pytest.approx(-1.0)
+    with pytest.raises(ValueError, match="pressure_floor"):
+        WeaklyCompressibleEOS(pressure_floor=1.0)
+
+
+def test_tait_sound_speed_stiffens_with_density():
+    eos = WeaklyCompressibleEOS(rho0=1.0, c0=10.0, gamma=7.0)
+    cs = eos.sound_speed(np.array([1.0, 1.1]), np.zeros(2))
+    assert cs[1] > cs[0]
+
+
+def test_isothermal():
+    eos = IsothermalEOS(cs=2.0)
+    p = eos.pressure(np.array([3.0]), np.array([123.0]))
+    assert p[0] == pytest.approx(12.0)
+    assert eos.sound_speed(np.array([3.0]), np.array([0.0]))[0] == 2.0
+    with pytest.raises(ValueError, match="cs"):
+        IsothermalEOS(cs=0.0)
+
+
+def test_apply_updates_particles(random_cloud):
+    random_cloud.rho[:] = 2.0
+    random_cloud.u[:] = 0.5
+    eos = IdealGasEOS()
+    eos.apply(random_cloud)
+    assert np.allclose(random_cloud.p, (5.0 / 3.0 - 1.0) * 2.0 * 0.5)
+    assert np.all(random_cloud.cs > 0.0)
+
+
+@given(
+    rho=st.floats(min_value=1e-6, max_value=1e6),
+    u=st.floats(min_value=0.0, max_value=1e6),
+)
+@settings(max_examples=60, deadline=None)
+def test_ideal_gas_positive_property(rho, u):
+    eos = IdealGasEOS()
+    p = float(eos.pressure(np.array([rho]), np.array([u]))[0])
+    cs = float(eos.sound_speed(np.array([rho]), np.array([u]))[0])
+    assert p >= 0.0
+    assert cs >= 0.0
+    assert np.isfinite(p) and np.isfinite(cs)

@@ -1,0 +1,211 @@
+"""Gravity: direct baseline, multipole moments/tensors, Barnes-Hut."""
+
+import numpy as np
+import pytest
+
+from repro.gravity.barnes_hut import barnes_hut_gravity, potential_energy
+from repro.gravity.direct import direct_gravity
+from repro.gravity.multipole import (
+    compute_node_moments,
+    derivative_tensors,
+    evaluate_multipoles,
+)
+from repro.tree.box import Box
+from repro.tree.octree import Octree
+
+
+@pytest.fixture
+def cluster(rng):
+    n = 600
+    x = rng.normal(size=(n, 3))
+    x *= (1.0 / (1.0 + np.linalg.norm(x, axis=1)))[:, None]
+    m = rng.uniform(0.5, 1.5, n)
+    return x, m
+
+
+# ----------------------------------------------------------------------
+# Direct summation
+# ----------------------------------------------------------------------
+def test_two_body_analytic():
+    x = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+    m = np.array([3.0, 5.0])
+    acc, phi = direct_gravity(x, m, g_const=2.0)
+    assert acc[0, 0] == pytest.approx(2.0 * 5.0 / 4.0)
+    assert acc[1, 0] == pytest.approx(-2.0 * 3.0 / 4.0)
+    assert phi[0] == pytest.approx(-2.0 * 5.0 / 2.0)
+
+
+def test_direct_newton_third_law(cluster):
+    x, m = cluster
+    acc, _ = direct_gravity(x, m)
+    assert np.linalg.norm((m[:, None] * acc).sum(axis=0)) < 1e-10 * len(m)
+
+
+def test_direct_softening_caps_close_forces():
+    x = np.array([[0.0, 0, 0], [1e-8, 0, 0]])
+    m = np.ones(2)
+    acc, _ = direct_gravity(x, m, softening=0.1)
+    assert np.abs(acc).max() < 1e-6 / (0.1**3) + 1.0
+
+
+def test_direct_chunking_consistent(cluster):
+    x, m = cluster
+    a1, p1 = direct_gravity(x, m, chunk=7)
+    a2, p2 = direct_gravity(x, m, chunk=10_000)
+    assert np.allclose(a1, a2)
+    assert np.allclose(p1, p2)
+
+
+def test_direct_subset_targets(cluster):
+    x, m = cluster
+    targets = np.array([0, 5, 10])
+    a_sub, p_sub = direct_gravity(x, m, targets=targets)
+    a_all, p_all = direct_gravity(x, m)
+    assert np.allclose(a_sub, a_all[targets])
+    assert np.allclose(p_sub, p_all[targets])
+
+
+# ----------------------------------------------------------------------
+# Multipole machinery
+# ----------------------------------------------------------------------
+def test_derivative_tensors_vs_numeric():
+    d0 = np.array([2.5, -1.0, 0.7])
+    eps = 1e-5
+    tensors = derivative_tensors(d0[None], 5)
+    for rank in range(5):
+        num = np.zeros(tensors[rank + 1].shape[1:])
+        for e in range(3):
+            dp, dm = d0.copy(), d0.copy()
+            dp[e] += eps
+            dm[e] -= eps
+            tp = derivative_tensors(dp[None], rank)[rank][0]
+            tm = derivative_tensors(dm[None], rank)[rank][0]
+            num[..., e] = (tp - tm) / (2 * eps)
+        ref = tensors[rank + 1][0]
+        scale = max(np.abs(ref).max(), 1e-30)
+        assert np.abs(num - ref).max() / scale < 1e-6, f"rank {rank + 1}"
+
+
+def test_derivative_tensors_symmetry():
+    d = np.array([[1.0, 2.0, 3.0]])
+    t = derivative_tensors(d, 4)
+    d2, d3, d4 = t[2][0], t[3][0], t[4][0]
+    assert np.allclose(d2, d2.T)
+    assert np.allclose(d3, np.transpose(d3, (1, 0, 2)))
+    assert np.allclose(d3, np.transpose(d3, (0, 2, 1)))
+    assert np.allclose(d4, np.transpose(d4, (1, 0, 2, 3)))
+    assert np.allclose(d4, np.transpose(d4, (0, 1, 3, 2)))
+
+
+def test_derivative_tensors_reject_zero():
+    with pytest.raises(ValueError, match="singular"):
+        derivative_tensors(np.zeros((1, 3)), 2)
+    with pytest.raises(ValueError, match="rank 5"):
+        derivative_tensors(np.ones((1, 3)), 6)
+
+
+def test_node_moments_match_brute_force(cluster):
+    x, m = cluster
+    tree = Octree.build(x, leaf_size=64)
+    mom = compute_node_moments(tree, x, m, order=4)
+    # Pick a mid-tree node and verify against direct sums.
+    k = tree.n_nodes // 2
+    idx = tree.order[tree.pstart[k] : tree.pend[k]]
+    assert mom.mass[k] == pytest.approx(m[idx].sum(), rel=1e-12)
+    com = (m[idx][:, None] * x[idx]).sum(axis=0) / m[idx].sum()
+    assert np.allclose(mom.com[k], com, atol=1e-12)
+    s = x[idx] - com
+    m2 = np.einsum("k,ka,kb->ab", m[idx], s, s)
+    assert np.allclose(mom.m2[k], m2, atol=1e-10)
+    m3 = np.einsum("k,ka,kb,kc->abc", m[idx], s, s, s)
+    assert np.allclose(mom.m3[k], m3, atol=1e-10)
+    m4 = np.einsum("k,ka,kb,kc,kd->abcd", m[idx], s, s, s, s)
+    assert np.allclose(mom.m4[k], m4, atol=1e-10)
+
+
+def test_far_field_expansion_converges(cluster):
+    """Multipole evaluation at a distant point approaches the exact sum."""
+    x, m = cluster
+    tree = Octree.build(x, leaf_size=10_000)  # root only
+    mom = compute_node_moments(tree, x, m, order=4)
+    target = np.array([[6.0, 5.0, 4.0]])
+    d = target - mom.com[0]
+    exact_phi = -np.sum(m / np.linalg.norm(target - x, axis=1))
+    errors = []
+    for order in (0, 2, 3, 4):
+        _, phi = evaluate_multipoles(
+            d, mom.mass[:1], mom.m2[:1], mom.m3[:1], mom.m4[:1], order
+        )
+        errors.append(abs(phi[0] - exact_phi))
+    assert errors[0] > errors[1] > errors[2] > errors[3]
+    assert errors[3] / abs(exact_phi) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# Barnes-Hut
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("order", [0, 2, 3, 4])
+def test_barnes_hut_accuracy_improves_with_order(cluster, order):
+    x, m = cluster
+    a_exact, p_exact = direct_gravity(x, m)
+    res = barnes_hut_gravity(x, m, theta=0.7, order=order, leaf_size=24)
+    err = np.linalg.norm(res.acc - a_exact, axis=1) / np.linalg.norm(a_exact, axis=1)
+    bound = {0: 5e-2, 2: 6e-3, 3: 3e-3, 4: 1.5e-3}[order]
+    assert err.mean() < bound
+
+
+def test_barnes_hut_theta_zero_limit(cluster):
+    """Small theta opens everything: P2P-only, exact result."""
+    x, m = cluster
+    a_exact, p_exact = direct_gravity(x, m)
+    res = barnes_hut_gravity(x, m, theta=1e-6, order=2, leaf_size=16)
+    assert res.n_m2p == 0
+    assert np.allclose(res.acc, a_exact, rtol=1e-10, atol=1e-12)
+    assert np.allclose(res.phi, p_exact, rtol=1e-10, atol=1e-12)
+
+
+def test_barnes_hut_stats_populated(cluster):
+    x, m = cluster
+    res = barnes_hut_gravity(x, m, theta=0.6, order=2)
+    assert res.n_p2p > 0
+    assert res.n_m2p > 0
+
+
+def test_barnes_hut_potential_energy_matches_direct(cluster):
+    x, m = cluster
+    _, p_exact = direct_gravity(x, m)
+    u_exact = 0.5 * np.sum(m * p_exact)
+    res = barnes_hut_gravity(x, m, theta=0.5, order=2)
+    assert res.potential_energy(m) == pytest.approx(u_exact, rel=1e-3)
+    assert potential_energy(res.phi, m) == res.potential_energy(m)
+
+
+def test_barnes_hut_reuses_tree_and_moments(cluster):
+    x, m = cluster
+    tree = Octree.build(x, leaf_size=32)
+    mom = compute_node_moments(tree, x, m, order=2)
+    res1 = barnes_hut_gravity(x, m, theta=0.5, order=2, tree=tree, moments=mom)
+    res2 = barnes_hut_gravity(x, m, theta=0.5, order=2, leaf_size=32)
+    assert np.allclose(res1.acc, res2.acc, rtol=1e-12)
+
+
+def test_barnes_hut_rejects_periodic():
+    x = np.random.default_rng(0).random((20, 3))
+    with pytest.raises(ValueError, match="periodic"):
+        barnes_hut_gravity(x, np.ones(20), box=Box.cube(0, 1, 3, periodic=True))
+
+
+def test_barnes_hut_rejects_low_order_moments(cluster):
+    x, m = cluster
+    tree = Octree.build(x, leaf_size=32)
+    mom = compute_node_moments(tree, x, m, order=0)
+    with pytest.raises(ValueError, match="order"):
+        barnes_hut_gravity(x, m, order=2, tree=tree, moments=mom)
+
+
+def test_barnes_hut_softening_matches_direct(cluster):
+    x, m = cluster
+    eps = 0.05
+    a_exact, _ = direct_gravity(x, m, softening=eps)
+    res = barnes_hut_gravity(x, m, theta=1e-6, softening=eps)
+    assert np.allclose(res.acc, a_exact, rtol=1e-10)

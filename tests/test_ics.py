@@ -1,0 +1,199 @@
+"""Initial conditions: rotating square patch and Evrard collapse."""
+
+import numpy as np
+import pytest
+
+from repro.ics.evrard import EvrardConfig, evrard_density_profile, make_evrard
+from repro.ics.lattice import cubic_lattice, lattice_sphere, side_for_count
+from repro.ics.square_patch import (
+    SquarePatchConfig,
+    make_square_patch,
+    patch_pressure_field,
+)
+
+
+# ----------------------------------------------------------------------
+# Lattice helpers
+# ----------------------------------------------------------------------
+def test_cubic_lattice_counts_and_bounds():
+    pts = cubic_lattice([4, 5, 6], [0, 0, 0], [1, 1, 1])
+    assert pts.shape == (120, 3)
+    assert pts.min() > 0.0 and pts.max() < 1.0
+
+
+def test_cubic_lattice_validation():
+    with pytest.raises(ValueError, match="counts"):
+        cubic_lattice([0, 2, 2], [0, 0, 0], [1, 1, 1])
+
+
+def test_side_for_count():
+    assert side_for_count(1000) == 10
+    assert side_for_count(1001) == 11
+    with pytest.raises(ValueError):
+        side_for_count(0)
+
+
+def test_lattice_sphere_count_and_radius():
+    pts = lattice_sphere(5000, radius=2.0)
+    r = np.linalg.norm(pts, axis=1)
+    assert np.all(r <= 2.0)
+    assert abs(len(pts) - 5000) / 5000 < 0.1
+
+
+# ----------------------------------------------------------------------
+# Square patch (Section 5.1, Eq. 1 + pressure series)
+# ----------------------------------------------------------------------
+def test_patch_particle_count_matches_paper_scaling():
+    cfg = SquarePatchConfig(side=10, layers=5)
+    p, box, eos = make_square_patch(cfg)
+    assert p.n == 10 * 10 * 5 == cfg.n_particles
+
+
+def test_patch_velocity_field_is_rigid_rotation():
+    cfg = SquarePatchConfig(side=12, layers=3, omega=5.0)
+    p, _, _ = make_square_patch(cfg)
+    assert np.allclose(p.v[:, 0], 5.0 * p.x[:, 1])
+    assert np.allclose(p.v[:, 1], -5.0 * p.x[:, 0])
+    assert np.allclose(p.v[:, 2], 0.0)
+    # Rigid rotation: |v| = omega * r
+    r2d = np.hypot(p.x[:, 0], p.x[:, 1])
+    assert np.allclose(np.linalg.norm(p.v, axis=1), 5.0 * r2d)
+
+
+def test_patch_layers_identical():
+    """The 3-D patch is the 2-D test copied along Z (Section 5.1)."""
+    cfg = SquarePatchConfig(side=8, layers=4)
+    p, _, _ = make_square_patch(cfg)
+    per_layer = 8 * 8
+    z = p.x[:, 2]
+    layers = np.unique(np.round(z, 12))
+    assert layers.size == 4
+    first = p.extra["p0"][: per_layer]
+    # cubic_lattice iterates z fastest; gather layer-0 by mask instead.
+    mask0 = np.isclose(z, layers[0])
+    mask1 = np.isclose(z, layers[1])
+    assert np.allclose(
+        np.sort(p.extra["p0"][mask0]), np.sort(p.extra["p0"][mask1])
+    )
+
+
+def test_patch_box_periodic_in_z_only():
+    _, box, _ = make_square_patch(SquarePatchConfig(side=8, layers=4))
+    assert box.periodic.tolist() == [False, False, True]
+
+
+def test_pressure_field_symmetry_and_sign():
+    cfg = SquarePatchConfig(side=10, layers=1, omega=5.0, length=1.0)
+    xs = np.array([0.1, -0.1])
+    ys = np.array([0.1, -0.1])
+    # Four-fold symmetry of the Poisson solution about the center.
+    p_pp = patch_pressure_field(np.array([0.1]), np.array([0.2]), cfg)
+    p_mm = patch_pressure_field(np.array([-0.1]), np.array([-0.2]), cfg)
+    p_pm = patch_pressure_field(np.array([0.1]), np.array([-0.2]), cfg)
+    assert p_pp[0] == pytest.approx(p_mm[0], rel=1e-10)
+    assert p_pp[0] == pytest.approx(p_pm[0], rel=1e-10)
+    # x <-> y exchange symmetry.
+    p_xy = patch_pressure_field(np.array([0.2]), np.array([0.1]), cfg)
+    assert p_pp[0] == pytest.approx(p_xy[0], rel=1e-10)
+    # Negative at the center (the tensile region the test probes).
+    p_center = patch_pressure_field(np.array([0.0]), np.array([0.0]), cfg)
+    assert p_center[0] < 0.0
+    # Zero on the free surface.
+    p_edge = patch_pressure_field(np.array([0.5]), np.array([0.0]), cfg)
+    assert abs(p_edge[0]) < 1e-10
+
+
+def test_pressure_series_converges():
+    """Truncation error shrinks as terms are added (paper: "rapidly
+    converging series"); the default 40 terms is converged to <1%."""
+    x = np.linspace(-0.45, 0.45, 7)
+    ref = patch_pressure_field(x, x, SquarePatchConfig(series_terms=160))
+    err = []
+    for terms in (10, 40):
+        val = patch_pressure_field(x, x, SquarePatchConfig(series_terms=terms))
+        err.append(np.abs(val - ref).max())
+    assert err[1] < err[0]
+    assert err[1] < 0.01 * np.abs(ref).max()
+
+
+def test_patch_mass_perturbation_encodes_pressure():
+    cfg = SquarePatchConfig(side=16, layers=2, pressure_init="mass-perturbation")
+    p, _, eos = make_square_patch(cfg)
+    assert not p.has_equal_masses()  # Table 1 "Variable" masses exercised
+    # Mass deficit where P0 < 0, excess where P0 > 0.
+    corr = np.corrcoef(p.m, p.extra["p0"])[0, 1]
+    assert corr > 0.9
+
+
+def test_patch_uniform_init_equal_masses():
+    cfg = SquarePatchConfig(side=8, layers=2, pressure_init="uniform")
+    p, _, _ = make_square_patch(cfg)
+    assert p.has_equal_masses()
+
+
+def test_patch_config_validation():
+    with pytest.raises(ValueError, match="side"):
+        SquarePatchConfig(side=1)
+    with pytest.raises(ValueError, match="pressure_init"):
+        SquarePatchConfig(pressure_init="bogus")
+
+
+# ----------------------------------------------------------------------
+# Evrard collapse (Eq. 2)
+# ----------------------------------------------------------------------
+def test_evrard_profile_formula():
+    cfg = EvrardConfig(total_mass=2.0, radius=1.5)
+    r = np.array([0.5, 1.0, 2.0])
+    rho = evrard_density_profile(r, cfg)
+    assert rho[0] == pytest.approx(2.0 / (2 * np.pi * 1.5**2 * 0.5))
+    assert rho[2] == 0.0
+
+
+def test_evrard_total_mass_and_u0():
+    cfg = EvrardConfig(n_target=4000)
+    p, box, eos = make_evrard(cfg)
+    assert p.total_mass == pytest.approx(1.0, rel=1e-12)
+    assert np.allclose(p.u, 0.05)
+    assert np.allclose(p.v, 0.0)
+    assert p.has_equal_masses()
+    assert eos.gamma == pytest.approx(5.0 / 3.0)
+
+
+def test_evrard_enclosed_mass_profile():
+    """M(<r) = M (r/R)^2 for the 1/r profile — check by particle counts."""
+    p, _, _ = make_evrard(EvrardConfig(n_target=20_000))
+    r = np.linalg.norm(p.x, axis=1)
+    for frac in (0.3, 0.5, 0.7):
+        enclosed = np.mean(r <= frac)
+        assert enclosed == pytest.approx(frac**2, abs=0.02)
+
+
+def test_evrard_binned_density_matches_profile():
+    cfg = EvrardConfig(n_target=30_000)
+    p, _, _ = make_evrard(cfg)
+    r = np.linalg.norm(p.x, axis=1)
+    edges = np.linspace(0.2, 0.9, 8)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        shell = (r >= lo) & (r < hi)
+        vol = 4.0 / 3.0 * np.pi * (hi**3 - lo**3)
+        rho_measured = p.m[shell].sum() / vol
+        rho_expected = evrard_density_profile(np.array([(lo + hi) / 2]), cfg)[0]
+        assert rho_measured == pytest.approx(rho_expected, rel=0.1)
+
+
+def test_evrard_gravity_dominates_thermal():
+    """|E_grav| ~ 1 >> E_int = 0.05: the collapse precondition."""
+    p, _, _ = make_evrard(EvrardConfig(n_target=2000))
+    from repro.gravity import direct_gravity
+
+    _, phi = direct_gravity(p.x, p.m)
+    e_grav = 0.5 * np.sum(p.m * phi)
+    assert e_grav < 0
+    assert abs(e_grav) > 5 * p.internal_energy()
+
+
+def test_evrard_config_validation():
+    with pytest.raises(ValueError, match="n_target"):
+        EvrardConfig(n_target=5)
+    with pytest.raises(ValueError, match="positive"):
+        EvrardConfig(u0=-1.0)

@@ -1,0 +1,80 @@
+"""CSR neighbour-list container invariants and reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.box import Box
+from repro.tree.neighborlist import NeighborList
+
+
+def _simple_list():
+    # particle 0: neighbours {1, 2}; particle 1: {0}; particle 2: {}
+    return NeighborList(
+        offsets=np.array([0, 2, 3, 3]), indices=np.array([1, 2, 0])
+    )
+
+
+def test_basic_shape_queries():
+    nl = _simple_list()
+    assert nl.n == 3
+    assert nl.n_pairs == 3
+    assert nl.counts().tolist() == [2, 1, 0]
+    assert nl.pair_i().tolist() == [0, 0, 1]
+    assert nl.neighbors_of(0).tolist() == [1, 2]
+    assert nl.neighbors_of(2).tolist() == []
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        NeighborList(offsets=np.array([0, 2, 1]), indices=np.array([1, 2]))
+    with pytest.raises(ValueError, match="must equal"):
+        NeighborList(offsets=np.array([0, 1]), indices=np.array([1, 2]))
+    with pytest.raises(ValueError, match="start at 0"):
+        NeighborList(offsets=np.array([1, 2]), indices=np.array([0]))
+
+
+def test_reduce_scalar_and_vector():
+    nl = _simple_list()
+    vals = np.array([1.0, 10.0, 100.0])
+    out = nl.reduce(vals)
+    assert out.tolist() == [11.0, 100.0, 0.0]
+    vecs = np.stack([vals, 2 * vals], axis=1)
+    out2 = nl.reduce(vecs)
+    assert out2[:, 0].tolist() == [11.0, 100.0, 0.0]
+    assert out2[:, 1].tolist() == [22.0, 200.0, 0.0]
+
+
+def test_reduce_rejects_misaligned():
+    nl = _simple_list()
+    with pytest.raises(ValueError, match="leading size"):
+        nl.reduce(np.ones(5))
+
+
+def test_pair_geometry_periodic():
+    nl = NeighborList(offsets=np.array([0, 1, 1]), indices=np.array([1]))
+    x = np.array([[0.05, 0.5, 0.5], [0.95, 0.5, 0.5]])
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    dx, r = nl.pair_geometry(x, box)
+    assert r[0] == pytest.approx(0.1)
+    assert dx[0, 0] == pytest.approx(0.1)  # min image crosses the boundary
+
+
+@given(
+    counts=st.lists(st.integers(0, 6), min_size=1, max_size=20),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_reduce_matches_loop_property(counts, seed):
+    rng = np.random.default_rng(seed)
+    n = len(counts)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    indices = rng.integers(0, n, size=int(offsets[-1]))
+    nl = NeighborList(offsets=offsets, indices=indices)
+    vals = rng.normal(size=nl.n_pairs)
+    out = nl.reduce(vals)
+    expected = np.zeros(n)
+    for i in range(n):
+        expected[i] = vals[offsets[i] : offsets[i + 1]].sum()
+    assert np.allclose(out, expected)

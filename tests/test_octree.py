@@ -1,0 +1,133 @@
+"""Linear octree: structural invariants, aggregates, tree-walk search."""
+
+import numpy as np
+import pytest
+
+from repro.tree.box import Box
+from repro.tree.cellgrid import cell_grid_search
+from repro.tree.octree import Octree
+
+
+@pytest.fixture
+def tree_and_points(rng):
+    x = rng.random((1500, 3))
+    box = Box.cube(0.0, 1.0, dim=3)
+    return Octree.build(x, box, leaf_size=16), x, box
+
+
+def test_root_covers_everything(tree_and_points):
+    tree, x, _ = tree_and_points
+    assert tree.pstart[0] == 0
+    assert tree.pend[0] == x.shape[0]
+    assert tree.level[0] == 0
+
+
+def test_children_partition_parent(tree_and_points):
+    tree, _, _ = tree_and_points
+    for k in range(tree.n_nodes):
+        cc = tree.child_count[k]
+        if cc == 0:
+            continue
+        cs = tree.child_start[k]
+        kids = np.arange(cs, cs + cc)
+        # Contiguous coverage of the parent's particle range.
+        assert tree.pstart[kids[0]] == tree.pstart[k]
+        assert tree.pend[kids[-1]] == tree.pend[k]
+        assert np.all(tree.pend[kids[:-1]] == tree.pstart[kids[1:]])
+        assert np.all(tree.level[kids] == tree.level[k] + 1)
+        # No empty children are stored.
+        assert np.all(tree.pend[kids] > tree.pstart[kids])
+
+
+def test_leaves_tile_particle_range(tree_and_points):
+    tree, x, _ = tree_and_points
+    leaves = np.nonzero(tree.is_leaf())[0]
+    order = np.argsort(tree.pstart[leaves])
+    leaves = leaves[order]
+    assert tree.pstart[leaves[0]] == 0
+    assert tree.pend[leaves[-1]] == x.shape[0]
+    assert np.all(tree.pend[leaves[:-1]] == tree.pstart[leaves[1:]])
+
+
+def test_leaf_size_respected(tree_and_points):
+    tree, _, _ = tree_and_points
+    leaves = tree.is_leaf()
+    max_level = tree.level.max()
+    counts = tree.node_counts()
+    # Any oversized leaf must sit at the maximum refinement level.
+    oversized = leaves & (counts > 16)
+    assert np.all(tree.level[oversized] == max_level) or not oversized.any()
+
+
+def test_particles_inside_node_bounds(tree_and_points):
+    tree, x, _ = tree_and_points
+    xs = x[tree.order]
+    for k in range(0, tree.n_nodes, 37):  # sample nodes
+        sl = xs[tree.pstart[k] : tree.pend[k]]
+        assert np.all(np.abs(sl - tree.center[k]) <= tree.half[k] + 1e-9)
+
+
+def test_node_aggregate_matches_direct(tree_and_points, rng):
+    tree, x, _ = tree_and_points
+    vals = rng.normal(size=x.shape[0])
+    agg = tree.node_aggregate(vals)
+    xs = vals[tree.order]
+    for k in range(0, tree.n_nodes, 23):
+        assert agg[k] == pytest.approx(xs[tree.pstart[k] : tree.pend[k]].sum(), abs=1e-9)
+
+
+def test_node_aggregate_vector(tree_and_points, rng):
+    tree, x, _ = tree_and_points
+    vals = rng.normal(size=(x.shape[0], 3))
+    agg = tree.node_aggregate(vals)
+    assert agg.shape == (tree.n_nodes, 3)
+    assert np.allclose(agg[0], vals.sum(axis=0))
+
+
+def test_node_max_matches_direct(tree_and_points, rng):
+    tree, x, _ = tree_and_points
+    vals = rng.normal(size=x.shape[0])
+    nm = tree.node_max(vals)
+    xs = vals[tree.order]
+    for k in range(0, tree.n_nodes, 17):
+        assert nm[k] == pytest.approx(xs[tree.pstart[k] : tree.pend[k]].max())
+
+
+@pytest.mark.parametrize("mode", ["gather", "symmetric"])
+def test_walk_matches_cell_grid(tree_and_points, rng, mode):
+    tree, x, box = tree_and_points
+    radii = rng.uniform(0.04, 0.12, x.shape[0])
+    a = tree.walk_neighbors(x, radii, mode=mode)
+    b = cell_grid_search(x, radii, box, mode=mode)
+    assert np.array_equal(a.offsets, b.offsets)
+    for i in range(0, x.shape[0], 13):
+        assert set(a.neighbors_of(i).tolist()) == set(b.neighbors_of(i).tolist())
+
+
+def test_walk_periodic(rng):
+    x = rng.random((400, 3))
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    tree = Octree.build(x, box, leaf_size=8)
+    a = tree.walk_neighbors(x, 0.1, mode="gather")
+    b = cell_grid_search(x, 0.1, box, mode="gather")
+    assert np.array_equal(a.offsets, b.offsets)
+
+
+def test_identical_positions_terminate():
+    """Duplicate positions cannot be split; build must still terminate."""
+    x = np.zeros((100, 3)) + 0.5
+    tree = Octree.build(x, Box.cube(0, 1, 3), leaf_size=4)
+    assert tree.n_particles == 100
+    counts = tree.node_counts()
+    assert counts[0] == 100
+
+
+def test_leaf_size_validation():
+    with pytest.raises(ValueError, match="leaf_size"):
+        Octree.build(np.random.default_rng(0).random((10, 3)), leaf_size=0)
+
+
+def test_depth_reasonable(tree_and_points):
+    tree, x, _ = tree_and_points
+    # ~1500 particles at leaf 16: depth ~ log8(1500/16) ~ 2-4
+    assert 1 <= tree.depth() <= 7

@@ -1,0 +1,110 @@
+"""Particle container: validation, diagnostics, serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.particles import ParticleSystem
+
+
+def test_zeros_factory():
+    p = ParticleSystem.zeros(10, dim=2)
+    assert p.n == 10
+    assert p.dim == 2
+    assert len(p) == 10
+    assert p.has_equal_masses()
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="shape"):
+        ParticleSystem(x=np.zeros(3), v=np.zeros(3), m=np.ones(1), h=np.ones(1))
+    with pytest.raises(ValueError, match="masses must be positive"):
+        ParticleSystem(
+            x=np.zeros((2, 3)), v=np.zeros((2, 3)), m=np.array([1.0, 0.0]), h=np.ones(2)
+        )
+    with pytest.raises(ValueError, match="smoothing lengths"):
+        ParticleSystem(
+            x=np.zeros((2, 3)), v=np.zeros((2, 3)), m=np.ones(2), h=np.array([1.0, -1.0])
+        )
+    with pytest.raises(ValueError, match="dim must be"):
+        ParticleSystem(x=np.zeros((2, 4)), v=np.zeros((2, 4)), m=np.ones(2), h=np.ones(2))
+
+
+def test_scalar_broadcast_for_m_h():
+    p = ParticleSystem(x=np.zeros((3, 3)), v=np.zeros((3, 3)), m=np.float64(2.0), h=np.float64(0.1))
+    assert np.allclose(p.m, 2.0)
+    assert np.allclose(p.h, 0.1)
+
+
+def test_energies_and_momenta():
+    x = np.array([[1.0, 0, 0], [-1.0, 0, 0]])
+    v = np.array([[0, 1.0, 0], [0, -1.0, 0]])
+    p = ParticleSystem(x=x, v=v, m=np.array([2.0, 2.0]), h=np.ones(2))
+    p.u[:] = 0.5
+    assert p.kinetic_energy() == pytest.approx(2.0)
+    assert p.internal_energy() == pytest.approx(2.0)
+    assert np.allclose(p.linear_momentum(), 0.0)
+    # Angular momentum: both particles orbit the same way.
+    assert p.angular_momentum()[2] == pytest.approx(4.0)
+    assert np.allclose(p.center_of_mass(), 0.0)
+
+
+def test_variable_masses_detected():
+    p = ParticleSystem.zeros(4)
+    assert p.has_equal_masses()
+    p.m[0] = 2.0
+    assert not p.has_equal_masses()
+
+
+def test_copy_is_deep(random_cloud):
+    c = random_cloud.copy()
+    c.x += 1.0
+    c.extra["tag"] = np.zeros(c.n)
+    assert not np.allclose(c.x, random_cloud.x)
+    assert "tag" not in random_cloud.extra
+
+
+def test_select_and_concatenate(random_cloud):
+    half = random_cloud.select(np.arange(random_cloud.n // 2))
+    rest = random_cloud.select(np.arange(random_cloud.n // 2, random_cloud.n))
+    merged = ParticleSystem.concatenate([half, rest])
+    assert merged.n == random_cloud.n
+    assert np.allclose(np.sort(merged.ids), np.sort(random_cloud.ids))
+    assert merged.total_mass == pytest.approx(random_cloud.total_mass)
+
+
+def test_concatenate_validation(random_cloud):
+    with pytest.raises(ValueError, match="empty"):
+        ParticleSystem.concatenate([])
+    other = ParticleSystem.zeros(3, dim=2)
+    with pytest.raises(ValueError, match="mixed"):
+        ParticleSystem.concatenate([random_cloud, other])
+
+
+def test_dict_roundtrip(random_cloud):
+    random_cloud.extra["p0"] = np.arange(random_cloud.n, dtype=np.float64)
+    d = random_cloud.to_dict()
+    back = ParticleSystem.from_dict(d)
+    assert np.array_equal(back.x, random_cloud.x)
+    assert np.array_equal(back.extra["p0"], random_cloud.extra["p0"])
+    assert np.array_equal(back.ids, random_cloud.ids)
+
+
+@given(
+    n=st.integers(1, 30),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_energy_nonnegative_property(n, seed):
+    rng = np.random.default_rng(seed)
+    p = ParticleSystem(
+        x=rng.normal(size=(n, 3)),
+        v=rng.normal(size=(n, 3)),
+        m=rng.uniform(0.1, 2.0, n),
+        h=rng.uniform(0.1, 2.0, n),
+    )
+    assert p.kinetic_energy() >= 0.0
+    assert p.total_mass > 0.0
+    # COM momentum identity: sum m v == m_total * v_com-ish consistency
+    assert np.allclose(p.linear_momentum(), (p.m[:, None] * p.v).sum(axis=0))

@@ -1,0 +1,345 @@
+"""Fault tolerance: checkpoints, intervals, injection, SDC, replication."""
+
+import numpy as np
+import pytest
+
+from repro.core.presets import SPHFLOW
+from repro.core.simulation import Simulation
+from repro.ics.square_patch import SquarePatchConfig, make_square_patch
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.resilience.failures import (
+    FailStopInjector,
+    SdcInjector,
+    inject_bitflip,
+    simulate_checkpointing,
+)
+from repro.resilience.interval import (
+    TwoLevelConfig,
+    daly_interval,
+    expected_waste,
+    two_level_intervals,
+    young_interval,
+)
+from repro.resilience.replication import (
+    run_replicated,
+    selective_replication_overhead,
+)
+from repro.resilience.sdc import (
+    ChecksumDetector,
+    ConservationDetector,
+    RangeDetector,
+    SdcMonitor,
+)
+from repro.timestepping.criteria import TimestepParams
+
+
+def _sim(steps=0):
+    particles, box, eos = make_square_patch(SquarePatchConfig(side=8, layers=4))
+    sim = Simulation(
+        particles, box, eos,
+        config=SPHFLOW.with_(n_neighbors=25,
+                             timestep_params=TimestepParams(use_energy_criterion=False)),
+    )
+    if steps:
+        sim.run(n_steps=steps)
+    return sim
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/restart
+# ----------------------------------------------------------------------
+def test_checkpoint_roundtrip(tmp_path):
+    sim = _sim(steps=2)
+    cp = Checkpoint.of_simulation(sim)
+    path = tmp_path / "state.ckpt"
+    nbytes = write_checkpoint(path, cp)
+    assert nbytes > 0
+    back = read_checkpoint(path)
+    assert back.time == cp.time
+    assert back.step_index == 2
+    assert np.array_equal(back.particles.x, sim.particles.x)
+    assert np.array_equal(back.particles.extra["p0"], sim.particles.extra["p0"])
+
+
+def test_restart_resumes_identically(tmp_path):
+    """Run 4 steps straight vs 2 + checkpoint/restore + 2: identical."""
+    sim_a = _sim(steps=4)
+    sim_b = _sim(steps=2)
+    cp = Checkpoint.of_simulation(sim_b)
+    write_checkpoint(tmp_path / "c", cp)
+    restored = read_checkpoint(tmp_path / "c")
+    sim_c = _sim(steps=0)
+    restored.restore_into(sim_c)
+    # Stepper memory (dt growth limiter) is part of a faithful restart:
+    # transplant it like a production restart file would.
+    sim_c.stepper._dt_prev = sim_b.stepper._dt_prev
+    sim_c.run(n_steps=2)
+    assert sim_c.step_index == 4
+    assert np.allclose(sim_c.particles.x, sim_a.particles.x, atol=1e-14)
+    assert np.allclose(sim_c.particles.u, sim_a.particles.u, atol=1e-14)
+
+
+def test_checkpoint_detects_corruption(tmp_path):
+    sim = _sim(steps=1)
+    path = tmp_path / "c"
+    write_checkpoint(path, Checkpoint.of_simulation(sim))
+    raw = bytearray(path.read_bytes())
+    raw[-8] ^= 0xFF  # flip payload bits
+    path.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointError, match="CRC"):
+        read_checkpoint(path)
+
+
+def test_checkpoint_missing_and_garbage(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint"):
+        read_checkpoint(tmp_path / "nope")
+    bad = tmp_path / "garbage"
+    bad.write_bytes(b"not a checkpoint at all, definitely")
+    with pytest.raises(CheckpointError):
+        read_checkpoint(bad)
+
+
+def test_checkpoint_capture_is_isolated():
+    sim = _sim(steps=1)
+    cp = Checkpoint.of_simulation(sim)
+    sim.particles.x += 100.0
+    assert not np.allclose(cp.particles.x, sim.particles.x)
+
+
+# ----------------------------------------------------------------------
+# Optimal intervals
+# ----------------------------------------------------------------------
+def test_young_formula():
+    assert young_interval(10.0, 2000.0) == pytest.approx(np.sqrt(2 * 10 * 2000))
+
+
+def test_daly_close_to_young_for_small_cost():
+    c, m = 1.0, 1e6
+    assert daly_interval(c, m) == pytest.approx(young_interval(c, m), rel=0.01)
+
+
+def test_daly_fallback_for_huge_cost():
+    assert daly_interval(100.0, 10.0) == pytest.approx(10.0)
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        young_interval(0.0, 1.0)
+    with pytest.raises(ValueError):
+        daly_interval(1.0, -1.0)
+
+
+def test_young_minimizes_expected_waste():
+    c, m = 5.0, 5000.0
+    w_opt = young_interval(c, m)
+    waste_opt = expected_waste(w_opt, c, m)
+    assert waste_opt < expected_waste(w_opt / 4, c, m)
+    assert waste_opt < expected_waste(w_opt * 4, c, m)
+
+
+def test_young_matches_injection_simulator():
+    """The closed form should sit near the empirical optimum."""
+    rng = np.random.default_rng(42)
+    c, m, work = 5.0, 2000.0, 50_000.0
+    def measured(interval, trials=30):
+        total = 0.0
+        for t in range(trials):
+            r = np.random.default_rng(1000 + t)
+            total += simulate_checkpointing(work, interval, c, m, rng=r).total_time
+        return total / trials
+    w_opt = young_interval(c, m)
+    t_opt = measured(w_opt)
+    assert t_opt < measured(w_opt / 5)
+    assert t_opt < measured(w_opt * 5)
+
+
+def test_two_level_intervals():
+    cfg = TwoLevelConfig(cost_fast=1.0, cost_slow=25.0, mtbf=1000.0, fast_coverage=0.8)
+    w_fast, w_slow = two_level_intervals(cfg)
+    assert w_fast == pytest.approx(young_interval(1.0, 1000.0 / 0.8))
+    assert w_slow >= w_fast
+    with pytest.raises(ValueError, match="fast_coverage"):
+        TwoLevelConfig(cost_fast=1.0, cost_slow=2.0, mtbf=10.0, fast_coverage=1.5)
+
+
+def test_two_level_degenerate_coverages():
+    all_fast = two_level_intervals(
+        TwoLevelConfig(cost_fast=1.0, cost_slow=25.0, mtbf=100.0, fast_coverage=1.0)
+    )
+    assert np.isinf(all_fast[1])
+    all_slow = two_level_intervals(
+        TwoLevelConfig(cost_fast=1.0, cost_slow=25.0, mtbf=100.0, fast_coverage=0.0)
+    )
+    assert np.isinf(all_slow[0])
+
+
+# ----------------------------------------------------------------------
+# Failure injection
+# ----------------------------------------------------------------------
+def test_failstop_mean(rng):
+    inj = FailStopInjector(100.0, rng)
+    samples = [inj.next_failure() for _ in range(3000)]
+    assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+    with pytest.raises(ValueError):
+        FailStopInjector(0.0)
+
+
+def test_simulate_checkpointing_no_failures():
+    stats = simulate_checkpointing(
+        100.0, 10.0, 1.0, mtbf=1e12, rng=np.random.default_rng(0)
+    )
+    assert stats.n_failures == 0
+    # 100 work in 10-intervals: 9 interior checkpoints.
+    assert stats.n_checkpoints == 9
+    assert stats.total_time == pytest.approx(100.0 + 9.0)
+    assert stats.waste_fraction == pytest.approx(9.0 / 109.0)
+
+
+def test_simulate_checkpointing_with_failures_completes():
+    stats = simulate_checkpointing(
+        500.0, 30.0, 2.0, mtbf=200.0, restart_cost=5.0,
+        rng=np.random.default_rng(7),
+    )
+    assert stats.useful_work == 500.0
+    assert stats.n_failures > 0
+    assert stats.total_time > 500.0
+
+
+def test_bitflip_changes_exactly_one_value(rng):
+    arr = rng.random((10, 3))
+    ref = arr.copy()
+    idx, bit = inject_bitflip(arr, rng=rng)
+    diff = np.nonzero(arr.reshape(-1) != ref.reshape(-1))[0]
+    assert len(diff) == 1
+    assert diff[0] == idx
+    # Flipping the same bit again restores the value.
+    inject_bitflip(arr, index=idx, bit=bit)
+    assert np.array_equal(arr, ref)
+
+
+def test_bitflip_validation():
+    with pytest.raises(ValueError, match="float64"):
+        inject_bitflip(np.zeros(3, dtype=np.float32))
+    with pytest.raises(ValueError, match="empty"):
+        inject_bitflip(np.zeros(0))
+
+
+def test_sdc_injector_events(random_cloud, rng):
+    inj = SdcInjector(rate_per_step=5.0, rng=rng)
+    events = inj.maybe_inject(random_cloud)
+    assert len(events) >= 0
+    for field, idx, bit in events:
+        assert field in inj.fields
+        assert 0 <= bit < 64
+
+
+# ----------------------------------------------------------------------
+# SDC detectors
+# ----------------------------------------------------------------------
+def test_checksum_detector_catches_any_flip(random_cloud, rng):
+    det = ChecksumDetector()
+    det.snapshot("m", random_cloud.m)
+    assert det.verify("m", random_cloud.m) == []
+    inject_bitflip(random_cloud.m, bit=3, rng=rng)  # subtle mantissa flip
+    assert det.verify("m", random_cloud.m) != []
+    with pytest.raises(KeyError):
+        det.verify("unknown", random_cloud.m)
+
+
+def test_range_detector_catches_exponent_flip(random_cloud):
+    det = RangeDetector(v_max=1e3)
+    assert det.check(random_cloud) == []
+    random_cloud.v[0, 0] = 1e9
+    assert any("velocity" in f for f in det.check(random_cloud))
+    random_cloud.v[0, 0] = np.nan
+    assert any("non-finite" in f for f in det.check(random_cloud))
+
+
+def test_range_detector_catches_negative_mass(random_cloud):
+    det = RangeDetector()
+    random_cloud.m[3] = -1.0
+    assert any("m" in f for f in det.check(random_cloud))
+
+
+def test_conservation_detector_catches_mass_jump(random_cloud):
+    det = ConservationDetector()
+    assert det.observe(random_cloud, 0.0) == []
+    random_cloud.m[0] *= 2.0
+    findings = det.observe(random_cloud, 0.1)
+    assert any("mass" in f for f in findings)
+    det.reset()
+    assert det.observe(random_cloud, 0.2) == []
+
+
+def test_monitor_counts_detections(random_cloud):
+    mon = SdcMonitor()
+    assert mon.check_step(random_cloud, 0.0) == []
+    random_cloud.h[0] = np.inf
+    assert mon.check_step(random_cloud, 0.1) != []
+    assert mon.checks_run == 2
+    assert mon.detections == 1
+
+
+def test_detectors_on_live_simulation():
+    """A mid-run bit flip in mass must be caught within a step."""
+    sim = _sim(steps=1)
+    mon = SdcMonitor()
+    mon.check_step(sim.particles, sim.time)
+    inject_bitflip(sim.particles.m, bit=62)  # exponent bit: huge change
+    sim.step()
+    findings = mon.check_step(sim.particles, sim.time)
+    assert findings, "corruption escaped all detectors"
+
+
+# ----------------------------------------------------------------------
+# Selective replication
+# ----------------------------------------------------------------------
+def test_replicas_agree_without_faults():
+    out = run_replicated(lambda: np.arange(5.0), n_replicas=3)
+    assert out.agreed and not out.corrected
+    assert np.array_equal(out.value, np.arange(5.0))
+
+
+def test_dual_replication_detects():
+    calls = []
+    def fn():
+        calls.append(1)
+        return np.ones(4)
+    def corrupt(i, r):
+        return r + (1.0 if i == 1 else 0.0)
+    out = run_replicated(fn, n_replicas=2, corrupt=corrupt)
+    assert not out.agreed and not out.corrected
+    assert len(calls) == 2
+
+
+def test_triple_replication_corrects():
+    def corrupt(i, r):
+        return r + (5.0 if i == 2 else 0.0)
+    out = run_replicated(lambda: np.ones(4), n_replicas=3, corrupt=corrupt)
+    assert out.corrected
+    assert np.array_equal(out.value, np.ones(4))
+
+
+def test_no_majority_is_detection_only():
+    def corrupt(i, r):
+        return r + float(i)  # all three disagree
+    out = run_replicated(lambda: np.ones(2), n_replicas=3, corrupt=corrupt)
+    assert not out.agreed and not out.corrected
+
+
+def test_replication_needs_two():
+    with pytest.raises(ValueError, match="2 replicas"):
+        run_replicated(lambda: np.ones(1), n_replicas=1)
+
+
+def test_selective_overhead():
+    costs = [10.0, 30.0, 60.0]
+    assert selective_replication_overhead(costs, [0], 2) == pytest.approx(1.1)
+    assert selective_replication_overhead(costs, [0, 1, 2], 2) == pytest.approx(2.0)
+    assert selective_replication_overhead(costs, [2], 3) == pytest.approx(2.2)
+    assert selective_replication_overhead([0.0], [0], 2) == 1.0

@@ -1,0 +1,84 @@
+"""Smoothing-length adaptation toward the target neighbour count."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sph.smoothing import (
+    SmoothingConfig,
+    adapt_smoothing_lengths,
+    update_smoothing_lengths,
+)
+from repro.tree.box import Box
+
+
+def test_update_formula_fixed_point():
+    """When counts hit the target, h is unchanged."""
+    h = np.array([0.1, 0.2])
+    out = update_smoothing_lengths(h, np.array([50, 50]), 50, 3)
+    assert np.allclose(out, h)
+
+
+def test_update_moves_toward_target():
+    h = np.array([0.1, 0.1])
+    grew = update_smoothing_lengths(h, np.array([10, 10]), 80, 3)
+    shrank = update_smoothing_lengths(h, np.array([640, 640]), 80, 3)
+    assert np.all(grew > h)
+    assert np.all(shrank < h)
+
+
+@given(
+    count=st.integers(1, 100_000),
+    target=st.integers(1, 1000),
+    h=st.floats(min_value=1e-6, max_value=1e3),
+)
+@settings(max_examples=60, deadline=None)
+def test_update_damped_property(count, target, h):
+    """One update never overshoots by more than the undamped step."""
+    out = float(update_smoothing_lengths(np.array([h]), np.array([count]), target, 3)[0])
+    undamped = h * (target / max(count, 1)) ** (1.0 / 3.0)
+    lo, hi = sorted((h, undamped))
+    assert lo - 1e-12 <= out <= hi + 1e-12
+
+
+def test_adaptation_reaches_target_on_lattice(small_lattice):
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    cfg = SmoothingConfig(n_target=40, tolerance=0.25, max_iterations=15)
+    small_lattice.h[:] = 0.05  # deliberately too small
+    nl = adapt_smoothing_lengths(small_lattice, box, cfg)
+    i, _ = nl.pairs()
+    _, r = nl.pair_geometry(small_lattice.x, box)
+    counts = np.bincount(
+        i[r <= 2.0 * small_lattice.h[i]], minlength=small_lattice.n
+    )
+    assert abs(counts.mean() - 40) / 40 < 0.3
+
+
+def test_adaptation_with_tree_walk_search(small_lattice):
+    from repro.tree.octree import Octree
+
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    tree = Octree.build(small_lattice.x, box, leaf_size=16)
+
+    def search(x, radii, box_, mode):
+        return tree.walk_neighbors(x, radii, mode=mode)
+
+    cfg = SmoothingConfig(n_target=30, tolerance=0.3)
+    nl = adapt_smoothing_lengths(small_lattice, box, cfg, search=search)
+    assert nl.n == small_lattice.n
+    assert nl.n_pairs > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="n_target"):
+        SmoothingConfig(n_target=0)
+    with pytest.raises(ValueError, match="tolerance"):
+        SmoothingConfig(tolerance=1.5)
+
+
+def test_h_bounds_respected(small_lattice):
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    cfg = SmoothingConfig(n_target=500, tolerance=0.05, h_max=0.2, max_iterations=8)
+    adapt_smoothing_lengths(small_lattice, box, cfg)
+    assert np.all(small_lattice.h <= 0.2 + 1e-12)

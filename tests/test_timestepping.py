@@ -1,0 +1,188 @@
+"""Time-step criteria, selection policies, rung schedules, integrator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.particles import ParticleSystem
+from repro.timestepping.criteria import (
+    TimestepParams,
+    acceleration_timestep,
+    combined_timestep,
+    courant_timestep,
+    energy_timestep,
+)
+from repro.timestepping.integrator import apply_energy_floor, drift, kick
+from repro.timestepping.steppers import (
+    AdaptiveTimestep,
+    GlobalTimestep,
+    IndividualTimesteps,
+    RungSchedule,
+)
+from repro.tree.box import Box
+
+
+def _particles(n=10, cs=1.0, h=0.1):
+    p = ParticleSystem.zeros(n)
+    p.h[:] = h
+    p.cs[:] = cs
+    p.u[:] = 1.0
+    return p
+
+
+def test_courant_formula():
+    params = TimestepParams(courant=0.3, alpha_visc=1.0, beta_visc=2.0)
+    dt = courant_timestep(np.array([0.1]), np.array([2.0]), max_mu=0.5, params=params)
+    signal = 2.0 + 1.2 * (1.0 * 2.0 + 2.0 * 0.5)
+    assert dt[0] == pytest.approx(0.3 * 0.1 / signal)
+
+
+def test_acceleration_and_energy_criteria():
+    params = TimestepParams()
+    dt_a = acceleration_timestep(np.array([0.1]), np.array([[3.0, 0.0, 4.0]]), params)
+    assert dt_a[0] == pytest.approx(params.accel * np.sqrt(0.1 / 5.0))
+    dt_e = energy_timestep(np.array([2.0]), np.array([-0.5]), params)
+    assert dt_e[0] == pytest.approx(params.energy * 4.0)
+    assert energy_timestep(np.array([1.0]), np.array([0.0]), params)[0] == np.inf
+
+
+def test_combined_takes_minimum():
+    p = _particles()
+    p.a[:, 0] = 1e9  # acceleration criterion dominates
+    dt = combined_timestep(p)
+    assert np.all(dt == pytest.approx(0.25 * np.sqrt(0.1 / 1e9)))
+
+
+def test_energy_criterion_can_be_disabled():
+    p = _particles()
+    p.u[:] = 1e-12
+    p.du[:] = 1.0  # would force a tiny dt
+    params_on = TimestepParams(use_energy_criterion=True)
+    params_off = TimestepParams(use_energy_criterion=False)
+    assert combined_timestep(p, params=params_on).min() < 1e-10
+    assert combined_timestep(p, params=params_off).min() > 1e-3
+
+
+def test_global_stepper_growth_limited():
+    p = _particles()
+    s = GlobalTimestep(TimestepParams(max_growth=1.25))
+    dt1 = s.select(p)
+    p.cs[:] = 1e-6  # criteria now allow a huge step
+    dt2 = s.select(p)
+    assert dt2 == pytest.approx(1.25 * dt1)
+
+
+def test_adaptive_stepper_shrink_limited():
+    p = _particles()
+    s = AdaptiveTimestep(shrink_limit=0.5)
+    dt1 = s.select(p)
+    p.cs[:] = 1e6  # criteria now demand a tiny step
+    dt2 = s.select(p)
+    assert dt2 == pytest.approx(0.5 * dt1)
+    with pytest.raises(ValueError, match="shrink_limit"):
+        AdaptiveTimestep(shrink_limit=0.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError, match="courant"):
+        TimestepParams(courant=0.0)
+
+
+# ----------------------------------------------------------------------
+# Rung schedules (individual time stepping)
+# ----------------------------------------------------------------------
+def test_rung_schedule_uniform_is_single_step():
+    p = _particles()
+    sched = IndividualTimesteps().schedule(p)
+    assert sched.max_rung == 0
+    assert sched.n_substeps == 1
+    assert sched.active_counts() == [p.n]
+
+
+def test_rung_schedule_two_populations():
+    p = _particles(n=8, h=0.1)
+    p.h[:4] = 0.1
+    p.h[4:] = 0.025  # 4x smaller h -> 4x smaller dt -> rung 2
+    sched = IndividualTimesteps().schedule(p)
+    assert sched.max_rung == 2
+    assert sched.n_substeps == 4
+    counts = sched.active_counts()
+    assert counts[0] == 8  # everyone starts at the sync point
+    assert counts[1] == 4  # only the fast rung
+    assert sched.total_particle_updates() == 4 * 1 + 4 * 4
+
+
+@given(
+    rungs=st.lists(st.integers(0, 5), min_size=1, max_size=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_rung_schedule_accounting_property(rungs):
+    sched = RungSchedule(dt_base=1.0, rung=np.array(rungs))
+    counts = sched.active_counts()
+    assert len(counts) == sched.n_substeps
+    assert counts[0] == len(rungs)  # sync at substep 0
+    # Sum over substeps equals total updates: each rung-b particle is
+    # active 2^b times per base step.
+    assert sum(counts) == sched.total_particle_updates()
+    # Substep dt times substep count covers the base step for every rung.
+    assert sched.substep_dt() * sched.n_substeps == pytest.approx(1.0)
+
+
+def test_individual_select_returns_finest_dt():
+    p = _particles(n=4)
+    p.h[2:] = 0.025
+    s = IndividualTimesteps()
+    sched = s.schedule(p)
+    assert s.select(p) == pytest.approx(sched.dt_base / sched.n_substeps)
+
+
+# ----------------------------------------------------------------------
+# Integrator pieces
+# ----------------------------------------------------------------------
+def test_kick_and_drift_with_mask():
+    p = _particles(n=3)
+    p.a[:, 0] = 2.0
+    p.du[:] = 1.0
+    mask = np.array([True, False, True])
+    kick(p, 0.5, mask)
+    assert p.v[0, 0] == pytest.approx(1.0)
+    assert p.v[1, 0] == 0.0
+    assert p.u[1] == 1.0 and p.u[0] == pytest.approx(1.5)
+    p.v[:, 1] = 1.0
+    drift(p, 0.25)
+    assert np.allclose(p.x[:, 1], 0.25)
+
+
+def test_drift_wraps_periodic_box():
+    p = _particles(n=1)
+    p.x[0] = [0.9, 0.5, 0.5]
+    p.v[0] = [1.0, 0.0, 0.0]
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    drift(p, 0.3, box)
+    assert p.x[0, 0] == pytest.approx(0.2)
+
+
+def test_energy_floor():
+    p = _particles(n=3)
+    p.u[:] = [1.0, -0.5, 1e-20]
+    clamped = apply_energy_floor(p, u_floor=1e-12)
+    assert clamped == 2
+    assert np.all(p.u >= 1e-12)
+
+
+def test_leapfrog_second_order_on_sho():
+    """Kick-drift-kick on a harmonic oscillator: bounded energy error."""
+    p = ParticleSystem.zeros(1)
+    p.x[0, 0] = 1.0
+    omega = 1.0
+    dt = 0.05
+    e0 = 0.5 * (p.v[0] @ p.v[0]) + 0.5 * omega**2 * (p.x[0] @ p.x[0])
+    p.a[0] = -(omega**2) * p.x[0]
+    for _ in range(int(4 * np.pi / dt)):  # two periods
+        kick(p, dt / 2)
+        drift(p, dt)
+        p.a[0] = -(omega**2) * p.x[0]
+        kick(p, dt / 2)
+    e1 = 0.5 * (p.v[0] @ p.v[0]) + 0.5 * omega**2 * (p.x[0] @ p.x[0])
+    assert abs(e1 - e0) / e0 < 1e-3  # symplectic: no secular drift
