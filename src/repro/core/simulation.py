@@ -18,7 +18,7 @@ which is what the Figure-4 reproduction and the POP metrics read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -29,7 +29,11 @@ from ..profiling.trace import State, Tracer
 from ..sph.density import compute_density
 from ..sph.eos import EquationOfState
 from ..sph.forces import compute_forces
-from ..sph.smoothing import SmoothingConfig, adapt_smoothing_lengths
+from ..sph.smoothing import (
+    SmoothingConfig,
+    adapt_from_cached_list,
+    adapt_smoothing_lengths,
+)
 from ..timestepping.integrator import apply_energy_floor, drift, kick
 from ..timestepping.steppers import (
     AdaptiveTimestep,
@@ -42,6 +46,9 @@ from .config import SimulationConfig
 from .conservation import ConservationState, measure_conservation
 from .particles import ParticleSystem
 from .phases import Phase
+
+if TYPE_CHECKING:  # avoid the core <-> parallel import cycle at runtime
+    from ..parallel.executor import ExecConfig
 
 __all__ = ["StepStats", "Simulation"]
 
@@ -79,6 +86,11 @@ class Simulation:
         config has gravity disabled.
     tracer:
         Optional shared tracer; a private one is created by default.
+    exec_config:
+        Optional :class:`~repro.parallel.executor.ExecConfig` enabling the
+        shared-memory process pool (``workers >= 1``) and/or the
+        Verlet-skin neighbour-list cache.  ``None`` (default) keeps the
+        fully serial, cache-free path.
     """
 
     particles: ParticleSystem
@@ -88,6 +100,7 @@ class Simulation:
     g_const: float = 1.0
     tracer: Tracer = field(default_factory=Tracer)
     rank: int = 0
+    exec_config: Optional["ExecConfig"] = None
 
     def __post_init__(self) -> None:
         self.kernel = make_kernel(self.config.kernel)
@@ -106,6 +119,19 @@ class Simulation:
             self.stepper = AdaptiveTimestep(self.config.timestep_params)
         else:
             self.stepper = IndividualTimesteps(self.config.timestep_params)
+        self._engine = None
+        self._ncache = None
+        if self.exec_config is not None:
+            if self.exec_config.neighbor_cache:
+                from ..tree.neighborlist import VerletNeighborCache
+
+                self._ncache = VerletNeighborCache(skin=self.exec_config.cache_skin)
+            if self.exec_config.parallel_enabled:
+                from ..parallel.executor import ParallelEngine
+
+                self._engine = ParallelEngine(
+                    self.exec_config, tracer=self.tracer, rank=self.rank
+                )
         self.initial_conservation: Optional[ConservationState] = None
         # Table 4 "Error Detection": with error_detection enabled the
         # driver runs the SDC monitor and the ABFT force guard each step
@@ -128,6 +154,18 @@ class Simulation:
         p = self.particles
         cfg = self.config
         tr = self.tracer
+        engine = self._engine
+
+        # Verlet-skin cache: reuse the padded neighbour list while every
+        # particle sits within the skin budget (half for displacement,
+        # half for h growth) since it was built.  On a hit, the neighbour
+        # searches of phases B-C are skipped; the h iteration still runs,
+        # counting off the cached list (exact counts under the budget),
+        # and the padded pairs beyond kernel support contribute exact
+        # zeros downstream.
+        cached = None
+        if self._ncache is not None:
+            cached = self._ncache.lookup(p.x, p.h, self.box)
 
         needs_tree = cfg.neighbor_search == "tree-walk" or cfg.gravity is not None
         with tr.phase(Phase.TREE_BUILD.letter, State.USEFUL, self.rank):
@@ -150,36 +188,71 @@ class Simulation:
                 search = None  # default cell grid inside adapt
 
         with tr.phase(Phase.SMOOTHING_LENGTH.letter, State.USEFUL, self.rank):
-            self._nlist = adapt_smoothing_lengths(
-                p, self.box, self._smoothing, search=search
-            )
-
-        c_matrices = None
-        with tr.phase(Phase.NEIGHBOR_LISTS.letter, State.USEFUL, self.rank):
-            if cfg.gradients == "iad":
-                # IAD moments need a density estimate; bootstrap on the
-                # first call with a standard summation inside density().
-                if np.all(p.rho <= 0.0):
-                    compute_density(p, self._nlist, self.kernel, self.box)
-                c_matrices = compute_iad_matrices(
-                    p, self._nlist, self.kernel, self.box
+            if cached is not None:
+                cached = adapt_from_cached_list(
+                    p, cached, self.box, self._smoothing, self._ncache
+                )
+            if cached is not None:
+                self._nlist = cached
+            else:
+                self._nlist = adapt_smoothing_lengths(
+                    p, self.box, self._smoothing, search=search, cache=self._ncache
                 )
 
-        with tr.phase(Phase.DENSITY.letter, State.USEFUL, self.rank):
-            compute_density(
+        c_matrices = None
+        if cfg.gradients == "iad":
+            # IAD moments need a density estimate; bootstrap on the first
+            # call with a standard summation.
+            if engine is not None:
+                if np.all(p.rho <= 0.0):
+                    engine.density(
+                        p,
+                        self._nlist,
+                        self.kernel,
+                        self.box,
+                        phase=Phase.NEIGHBOR_LISTS.letter,
+                    )
+                c_matrices = engine.iad_matrices(
+                    p,
+                    self._nlist,
+                    self.kernel,
+                    self.box,
+                    phase=Phase.NEIGHBOR_LISTS.letter,
+                )
+            else:
+                with tr.phase(Phase.NEIGHBOR_LISTS.letter, State.USEFUL, self.rank):
+                    if np.all(p.rho <= 0.0):
+                        compute_density(p, self._nlist, self.kernel, self.box)
+                    c_matrices = compute_iad_matrices(
+                        p, self._nlist, self.kernel, self.box
+                    )
+
+        if engine is not None:
+            engine.density(
                 p,
                 self._nlist,
                 self.kernel,
                 self.box,
                 volume_elements=cfg.volume_elements,
                 xmass_exponent=cfg.xmass_exponent,
+                phase=Phase.DENSITY.letter,
             )
+        else:
+            with tr.phase(Phase.DENSITY.letter, State.USEFUL, self.rank):
+                compute_density(
+                    p,
+                    self._nlist,
+                    self.kernel,
+                    self.box,
+                    volume_elements=cfg.volume_elements,
+                    xmass_exponent=cfg.xmass_exponent,
+                )
 
         with tr.phase(Phase.EQUATION_OF_STATE.letter, State.USEFUL, self.rank):
             self.eos.apply(p)
 
-        with tr.phase(Phase.MOMENTUM_ENERGY.letter, State.USEFUL, self.rank):
-            result = compute_forces(
+        if engine is not None:
+            result = engine.forces(
                 p,
                 self._nlist,
                 self.kernel,
@@ -188,18 +261,32 @@ class Simulation:
                 viscosity=cfg.viscosity,
                 grad_h=cfg.grad_h,
                 c_matrices=c_matrices,
+                phase=Phase.MOMENTUM_ENERGY.letter,
             )
             self._max_mu = result.max_mu
+        else:
+            with tr.phase(Phase.MOMENTUM_ENERGY.letter, State.USEFUL, self.rank):
+                result = compute_forces(
+                    p,
+                    self._nlist,
+                    self.kernel,
+                    self.box,
+                    gradients=cfg.gradients,
+                    viscosity=cfg.viscosity,
+                    grad_h=cfg.grad_h,
+                    c_matrices=c_matrices,
+                )
+                self._max_mu = result.max_mu
 
         self._last_gravity_p2p = 0
         self._last_gravity_m2p = 0
-        with tr.phase(Phase.GRAVITY.letter, State.USEFUL, self.rank):
-            # Self-gravity only applies to open-boundary scenarios (the
-            # paper runs the periodic-Z square patch without gravity on
-            # every code, gravity-capable or not — Table 5).
-            if cfg.gravity is not None and not bool(np.any(self.box.periodic)):
-                softening = cfg.gravity_softening_factor * float(p.h.mean())
-                grav = barnes_hut_gravity(
+        # Self-gravity only applies to open-boundary scenarios (the paper
+        # runs the periodic-Z square patch without gravity on every code,
+        # gravity-capable or not — Table 5).
+        if cfg.gravity is not None and not bool(np.any(self.box.periodic)):
+            softening = cfg.gravity_softening_factor * float(p.h.mean())
+            if engine is not None:
+                grav = engine.gravity(
                     p.x,
                     p.m,
                     g_const=self.g_const,
@@ -207,12 +294,25 @@ class Simulation:
                     theta=cfg.gravity_theta,
                     order=cfg.gravity_order,
                     tree=self._tree,
+                    phase=Phase.GRAVITY.letter,
                 )
-                p.a += grav.acc
-                self.potential_energy = grav.potential_energy(p.m)
-                self._last_gravity_p2p = grav.n_p2p
-                self._last_gravity_m2p = grav.n_m2p
             else:
+                with tr.phase(Phase.GRAVITY.letter, State.USEFUL, self.rank):
+                    grav = barnes_hut_gravity(
+                        p.x,
+                        p.m,
+                        g_const=self.g_const,
+                        softening=softening,
+                        theta=cfg.gravity_theta,
+                        order=cfg.gravity_order,
+                        tree=self._tree,
+                    )
+            p.a += grav.acc
+            self.potential_energy = grav.potential_energy(p.m)
+            self._last_gravity_p2p = grav.n_p2p
+            self._last_gravity_m2p = grav.n_m2p
+        else:
+            with tr.phase(Phase.GRAVITY.letter, State.USEFUL, self.rank):
                 self.potential_energy = 0.0
         self._rates_current = True
 
@@ -285,6 +385,23 @@ class Simulation:
                 break
             done.append(self.step())
         return done
+
+    # ------------------------------------------------------------------
+    @property
+    def neighbor_cache_stats(self):
+        """Verlet-cache counters, or ``None`` when the cache is disabled."""
+        return self._ncache.stats if self._ncache is not None else None
+
+    def close(self) -> None:
+        """Release pool workers and shared memory (no-op when serial)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def conservation_drift(self) -> dict[str, float]:

@@ -36,15 +36,26 @@ def compute_iad_matrices(
     box: Box | None = None,
     *,
     rcond: float = 1e-10,
+    rows: tuple[int, int] | None = None,
 ) -> np.ndarray:
     """Per-particle IAD coefficient matrices ``C_i``, shape ``(n, dim, dim)``.
 
     The moment matrix is regularized by ``rcond * trace`` on the diagonal
     before inversion so isolated or degenerate particle configurations
-    (e.g. perfectly coplanar neighbours in 3-D) stay finite.
+    (e.g. perfectly coplanar neighbours in 3-D) stay finite.  ``rows``
+    restricts the computation to a query-row slice, returning
+    ``(hi - lo, dim, dim)`` matrices (pool fan-out mode).
     """
-    i, j = nlist.pairs()
-    dx, r = nlist.pair_geometry(particles.x, box)
+    if rows is None:
+        lo, hi = 0, particles.n
+        sub = nlist
+    else:
+        lo, hi = rows
+        sub = nlist.row_slice(lo, hi)
+    n_rows = hi - lo
+    i = sub.pair_i() + lo
+    j = sub.indices
+    dx, r = sub.pair_geometry(particles.x, box, row_offset=lo)
     dim = particles.dim
     w = kernel.value(r, particles.h[i], dim)
     vol_j = particles.m[j] / particles.rho[j]
@@ -52,11 +63,11 @@ def compute_iad_matrices(
     # product, so accumulate dx (x) dx directly.
     weights = vol_j * w
     outer = dx[:, :, None] * dx[:, None, :] * weights[:, None, None]
-    tau = np.zeros((particles.n, dim, dim))
-    flat_i = nlist.pair_i()
+    tau = np.zeros((n_rows, dim, dim))
+    flat_i = sub.pair_i()
     for a in range(dim):
         for b in range(a, dim):
-            col = np.bincount(flat_i, weights=outer[:, a, b], minlength=particles.n)
+            col = np.bincount(flat_i, weights=outer[:, a, b], minlength=n_rows)
             tau[:, a, b] = col
             if b != a:
                 tau[:, b, a] = col

@@ -64,6 +64,7 @@ def barnes_hut_gravity(
     leaf_size: int = 64,
     box: Box | None = None,
     moments: NodeMoments | None = None,
+    target_leaves: np.ndarray | None = None,
 ) -> GravityResult:
     """Tree-code gravity for all particles.
 
@@ -79,6 +80,12 @@ def barnes_hut_gravity(
         Reuse a pre-built tree/moments (e.g. the one neighbour search
         built this step — the co-design point of sharing the tree between
         SPH and gravity).
+    target_leaves:
+        Restrict the walk to this subset of target leaf nodes (global
+        node indices).  Only particles in those leaves receive
+        accelerations/potentials; the per-leaf walk is independent of the
+        rest of the frontier, so partitioning the leaves over workers
+        (``repro.parallel``) reproduces the full walk bit-for-bit.
     """
     x = np.atleast_2d(np.asarray(x, dtype=np.float64))
     m = np.asarray(m, dtype=np.float64)
@@ -99,6 +106,8 @@ def barnes_hut_gravity(
         )
 
     leaves = np.nonzero(tree.is_leaf() & (tree.node_counts() > 0))[0]
+    if target_leaves is not None:
+        leaves = np.asarray(target_leaves, dtype=np.int64)
     node_size = 2.0 * tree.half.max(axis=1)
 
     # Frontier of (target-leaf, source-node) pairs, starting at the root.

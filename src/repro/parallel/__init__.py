@@ -1,0 +1,24 @@
+"""Shared-memory parallel execution layer (node-level, process-based).
+
+The paper's mini-app targets hybrid MPI+X execution; this package supplies
+the intra-node "X": a persistent process pool fed through a
+``multiprocessing.shared_memory`` arena, evaluating the expensive
+Algorithm-1 phases (density, IAD, momentum/energy, gravity) over
+pair-balanced slices of the CSR neighbour list.  The slice decomposition
+preserves per-particle reduction order, so pool results match the serial
+path bit-for-bit — which the parity tests pin down to rtol = 1e-12.
+"""
+
+from .executor import ExecConfig, ParallelEngine
+from .pool import WorkerPool, parallel_map, row_chunks
+from .shm import ArenaView, ShmArena
+
+__all__ = [
+    "ExecConfig",
+    "ParallelEngine",
+    "WorkerPool",
+    "parallel_map",
+    "row_chunks",
+    "ArenaView",
+    "ShmArena",
+]

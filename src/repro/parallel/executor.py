@@ -1,0 +1,548 @@
+"""Shared-memory parallel execution of Algorithm-1 phases E-I.
+
+Parent side, :class:`ParallelEngine` mirrors the serial kernel entry
+points (density, IAD moments, forces, gravity) but fans each one out over
+a :class:`~repro.parallel.pool.WorkerPool`: inputs are published into the
+:class:`~repro.parallel.shm.ShmArena`, query rows are split at equal-pair
+CSR boundaries, and each worker evaluates its row slice with the *same*
+kernel code the serial path runs (``rows=(lo, hi)`` mode), writing
+results into arena output fields at disjoint slices.  Parity with the
+serial path is therefore structural: both paths execute identical
+per-pair arithmetic and identical per-particle reduction orders.
+
+Worker side, the ``@register_task`` handlers reconstruct lightweight
+views of the particle SoA and the CSR neighbour list straight from shared
+memory (zero copies) and call the slice-mode kernels.
+
+Tracing: every engine call records one ``FAN_OUT`` interval (publish +
+dispatch) and one ``REDUCE`` interval (await workers + merge) under the
+calling phase's letter, so Figure-4 style timelines show where pool
+orchestration time goes.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.particles import ParticleSystem
+from ..gradients.iad import compute_iad_matrices
+from ..gravity.barnes_hut import GravityResult, barnes_hut_gravity
+from ..gravity.multipole import NodeMoments, compute_node_moments
+from ..profiling.trace import State, Tracer
+from ..sph.density import compute_density, grad_h_terms
+from ..sph.forces import ForceResult, compute_forces, velocity_divergence_curl
+from ..sph.viscosity import ViscosityParams, balsara_switch
+from ..tree.neighborlist import NeighborList
+from ..tree.octree import Octree
+from .pool import WorkerPool, parallel_map, register_task, row_chunks
+from .shm import ShmArena
+
+__all__ = ["ExecConfig", "ParallelEngine"]
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Execution-layer knobs (orthogonal to the physics configuration).
+
+    Parameters
+    ----------
+    workers:
+        ``0`` (default) keeps every phase serial; ``>= 1`` runs phases
+        E-I on a process pool of that many workers.  ``workers=1`` still
+        exercises the full fan-out/reduce machinery (useful for parity
+        testing); speedup requires multiple cores.
+    chunks_per_worker:
+        Row chunks submitted per worker per phase (more chunks smooth
+        load imbalance at slightly higher dispatch cost).
+    neighbor_cache:
+        Enable the Verlet-skin neighbour-list cache: lists are built with
+        padded support ``(1 + skin) * 2 h`` and phases B-D are skipped
+        while no particle has drifted more than ``skin * h``.
+    cache_skin:
+        Skin fraction of ``h`` (in (0, 1)).
+    start_method:
+        multiprocessing start method; default picks ``fork`` when
+        available, else ``spawn``.
+    arena_capacity:
+        Initial shared-memory arena size in bytes (grows on demand).
+    """
+
+    workers: int = 0
+    chunks_per_worker: int = 1
+    neighbor_cache: bool = False
+    cache_skin: float = 0.3
+    start_method: Optional[str] = None
+    arena_capacity: int = 1 << 24
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
+            )
+        if not 0.0 < self.cache_skin < 1.0:
+            raise ValueError(f"cache_skin must be in (0, 1), got {self.cache_skin}")
+
+    @property
+    def parallel_enabled(self) -> bool:
+        return self.workers >= 1
+
+
+# ======================================================================
+# Worker-side task handlers
+# ======================================================================
+_STATE_FIELDS = ("x", "v", "m", "h", "rho", "p", "cs")
+
+
+def _particles_from(views, rho_field: str = "rho") -> ParticleSystem:
+    return ParticleSystem(
+        x=views.view("x"),
+        v=views.view("v"),
+        m=views.view("m"),
+        h=views.view("h"),
+        rho=views.view(rho_field),
+        p=views.view("p"),
+        cs=views.view("cs"),
+    )
+
+
+def _nlist_from(views) -> NeighborList:
+    return NeighborList(
+        offsets=views.view("nl_offsets"), indices=views.view("nl_indices")
+    )
+
+
+@register_task("density")
+def _task_density(views, params, lo, hi):
+    particles = _particles_from(views, rho_field=params.get("rho_field", "rho"))
+    rho = compute_density(
+        particles,
+        _nlist_from(views),
+        params["kernel"],
+        params["box"],
+        volume_elements=params["volume_elements"],
+        xmass_exponent=params["xmass_exponent"],
+        rows=(lo, hi),
+    )
+    views.view(params["out"])[lo:hi] = rho
+    return {}
+
+
+@register_task("iad")
+def _task_iad(views, params, lo, hi):
+    c = compute_iad_matrices(
+        _particles_from(views),
+        _nlist_from(views),
+        params["kernel"],
+        params["box"],
+        rows=(lo, hi),
+    )
+    views.view("out_c")[lo:hi] = c
+    return {}
+
+
+@register_task("gradh")
+def _task_gradh(views, params, lo, hi):
+    omega = grad_h_terms(
+        _particles_from(views),
+        _nlist_from(views),
+        params["kernel"],
+        params["box"],
+        rows=(lo, hi),
+    )
+    views.view("out_omega")[lo:hi] = omega
+    return {}
+
+
+@register_task("divcurl")
+def _task_divcurl(views, params, lo, hi):
+    div, curl = velocity_divergence_curl(
+        _particles_from(views),
+        _nlist_from(views),
+        params["kernel"],
+        params["box"],
+        rows=(lo, hi),
+    )
+    views.view("out_div")[lo:hi] = div
+    views.view("out_curl")[lo:hi] = curl
+    return {}
+
+
+@register_task("forces")
+def _task_forces(views, params, lo, hi):
+    omega = views.view("out_omega") if params["grad_h"] else None
+    balsara_f = views.view("balsara_f") if params["use_balsara"] else None
+    c_matrices = views.view("c_matrices") if params["iad"] else None
+    result = compute_forces(
+        _particles_from(views),
+        _nlist_from(views),
+        params["kernel"],
+        params["box"],
+        gradients="iad" if params["iad"] else "standard",
+        viscosity=params["viscosity"],
+        grad_h=params["grad_h"],
+        c_matrices=c_matrices,
+        rows=(lo, hi),
+        omega=omega,
+        balsara_f=balsara_f,
+    )
+    views.view("out_a")[lo:hi] = result.a
+    views.view("out_du")[lo:hi] = result.du
+    return {"max_mu": result.max_mu}
+
+
+_TREE_FIELDS = (
+    "center",
+    "half",
+    "level",
+    "child_start",
+    "child_count",
+    "pstart",
+    "pend",
+    "order",
+)
+
+
+@register_task("gravity")
+def _task_gravity(views, params, lo, hi):
+    leaves = views.view("leaves")[lo:hi]
+    if leaves.size == 0:
+        return {"n_p2p": 0, "n_m2p": 0}
+    tree = Octree(
+        box=params["box"],
+        **{name: views.view(f"tree_{name}") for name in _TREE_FIELDS},
+    )
+    moments = NodeMoments(
+        order=params["order"],
+        mass=views.view("mom_mass"),
+        com=views.view("mom_com"),
+        m2=views.view("mom_m2") if params["has_m2"] else None,
+        m3=views.view("mom_m3") if params["has_m3"] else None,
+        m4=views.view("mom_m4") if params["has_m4"] else None,
+    )
+    x = views.view("x")
+    m = views.view("m")
+    result = barnes_hut_gravity(
+        x,
+        m,
+        g_const=params["g_const"],
+        softening=params["softening"],
+        theta=params["theta"],
+        order=params["order"],
+        tree=tree,
+        moments=moments,
+        target_leaves=leaves,
+    )
+    # Targets of disjoint leaves are disjoint particle index sets, so the
+    # scatter below never races with other workers.
+    flat = np.concatenate(
+        [
+            np.arange(s, e, dtype=np.int64)
+            for s, e in zip(tree.pstart[leaves], tree.pend[leaves])
+        ]
+    )
+    tidx = tree.order[flat]
+    views.view("out_acc")[tidx] = result.acc[tidx]
+    views.view("out_phi")[tidx] = result.phi[tidx]
+    return {"n_p2p": result.n_p2p, "n_m2p": result.n_m2p}
+
+
+# ======================================================================
+# Parent-side engine
+# ======================================================================
+def _field_bytes(shape, dtype) -> int:
+    nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    return (nbytes + 63) // 64 * 64
+
+
+class ParallelEngine:
+    """Pool-backed evaluation of density / IAD / forces / gravity.
+
+    Owns a :class:`WorkerPool` and a :class:`ShmArena` (both created
+    lazily on first use) and is safe to share across the phases of one
+    :class:`~repro.core.simulation.Simulation`.  Results are written into
+    the same particle arrays the serial path writes, so the two paths are
+    drop-in interchangeable.
+    """
+
+    def __init__(
+        self,
+        config: ExecConfig,
+        tracer: Optional[Tracer] = None,
+        rank: int = 0,
+    ) -> None:
+        if not config.parallel_enabled:
+            raise ValueError("ParallelEngine needs ExecConfig(workers >= 1)")
+        self.config = config
+        self.tracer = tracer
+        self.rank = rank
+        self._pool: Optional[WorkerPool] = None
+        self._arena: Optional[ShmArena] = None
+
+    # ------------------------------------------------------------------
+    def _ensure(self) -> Tuple[WorkerPool, ShmArena]:
+        if self._pool is None:
+            self._pool = WorkerPool(
+                self.config.workers, start_method=self.config.start_method
+            )
+            self._arena = ShmArena(self.config.arena_capacity)
+        return self._pool, self._arena
+
+    def _phase(self, letter: str, state: State):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.phase(letter, state, self.rank)
+
+    @property
+    def n_chunks(self) -> int:
+        return self.config.workers * self.config.chunks_per_worker
+
+    def close(self) -> None:
+        """Shut down workers and release the shared-memory arena."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _begin_cycle(
+        self, arena: ShmArena, particles: ParticleSystem, nlist: NeighborList, extra: int
+    ) -> None:
+        """Reset the arena and size it for state + CSR + ``extra`` bytes."""
+        arena.reset()
+        total = extra
+        for name in _STATE_FIELDS:
+            total += _field_bytes(getattr(particles, name).shape, np.float64)
+        total += _field_bytes(nlist.offsets.shape, np.int64)
+        total += _field_bytes(nlist.indices.shape, np.int64)
+        arena.require(total)
+        for name in _STATE_FIELDS:
+            arena.publish(name, getattr(particles, name))
+        arena.publish("nl_offsets", nlist.offsets)
+        arena.publish("nl_indices", nlist.indices)
+
+    # ------------------------------------------------------------------
+    def density(
+        self,
+        particles: ParticleSystem,
+        nlist: NeighborList,
+        kernel,
+        box,
+        *,
+        volume_elements: str = "standard",
+        xmass_exponent: float = 0.7,
+        phase: str = "E",
+    ) -> np.ndarray:
+        """Pool-parallel :func:`repro.sph.density.compute_density`."""
+        pool, arena = self._ensure()
+        kernel.sigma(particles.dim)  # warm the cache shipped with the pickle
+        n = particles.n
+        bootstrap = volume_elements == "generalized" and bool(
+            np.any(particles.rho <= 0.0)
+        )
+        with self._phase(phase, State.FAN_OUT):
+            extra = 2 * _field_bytes((n,), np.float64)
+            self._begin_cycle(arena, particles, nlist, extra)
+            out = arena.alloc("out_rho", (n,), np.float64)
+            chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
+            params = {
+                "kernel": kernel,
+                "box": box,
+                "volume_elements": volume_elements,
+                "xmass_exponent": xmass_exponent,
+                "out": "out_rho",
+            }
+            if bootstrap:
+                # Pass 1 fills a standard summation the generalized
+                # estimator then reads as rho_prev (exactly the serial
+                # bootstrap, fanned out).
+                arena.alloc("rho_boot", (n,), np.float64)
+                boot_params = dict(
+                    params, volume_elements="standard", out="rho_boot"
+                )
+                parallel_map(pool, "density", chunks, arena.descriptor(), boot_params)
+                params["rho_field"] = "rho_boot"
+            replies = parallel_map(pool, "density", chunks, arena.descriptor(), params)
+        with self._phase(phase, State.REDUCE):
+            del replies
+            particles.rho[:] = out
+        return particles.rho
+
+    # ------------------------------------------------------------------
+    def iad_matrices(
+        self,
+        particles: ParticleSystem,
+        nlist: NeighborList,
+        kernel,
+        box,
+        *,
+        phase: str = "D",
+    ) -> np.ndarray:
+        """Pool-parallel :func:`repro.gradients.iad.compute_iad_matrices`."""
+        pool, arena = self._ensure()
+        kernel.sigma(particles.dim)
+        n, dim = particles.n, particles.dim
+        with self._phase(phase, State.FAN_OUT):
+            extra = _field_bytes((n, dim, dim), np.float64)
+            self._begin_cycle(arena, particles, nlist, extra)
+            out = arena.alloc("out_c", (n, dim, dim), np.float64)
+            chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
+            params = {"kernel": kernel, "box": box}
+            parallel_map(pool, "iad", chunks, arena.descriptor(), params)
+        with self._phase(phase, State.REDUCE):
+            c = np.array(out, copy=True)
+        return c
+
+    # ------------------------------------------------------------------
+    def forces(
+        self,
+        particles: ParticleSystem,
+        nlist: NeighborList,
+        kernel,
+        box,
+        *,
+        gradients: str = "standard",
+        viscosity: ViscosityParams = ViscosityParams(),
+        grad_h: bool = False,
+        c_matrices: Optional[np.ndarray] = None,
+        phase: str = "G",
+    ) -> ForceResult:
+        """Pool-parallel :func:`repro.sph.forces.compute_forces`.
+
+        Runs up to three fan-outs in one arena cycle: grad-h factors
+        (when enabled), divergence/curl for the Balsara switch (when
+        enabled) and the fused momentum/energy pair loop.
+        """
+        pool, arena = self._ensure()
+        kernel.sigma(particles.dim)
+        n, dim = particles.n, particles.dim
+        use_iad = gradients == "iad"
+        if use_iad and c_matrices is None:
+            c_matrices = self.iad_matrices(particles, nlist, kernel, box, phase=phase)
+        with self._phase(phase, State.FAN_OUT):
+            extra = _field_bytes((n, dim), np.float64) + _field_bytes((n,), np.float64)
+            extra += 4 * _field_bytes((n,), np.float64)  # omega/div/curl/balsara
+            if use_iad:
+                extra += _field_bytes((n, dim, dim), np.float64)
+            self._begin_cycle(arena, particles, nlist, extra)
+            if use_iad:
+                arena.publish("c_matrices", c_matrices)
+            chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
+            base = {"kernel": kernel, "box": box}
+            if grad_h:
+                arena.alloc("out_omega", (n,), np.float64)
+                parallel_map(pool, "gradh", chunks, arena.descriptor(), base)
+            if viscosity.use_balsara:
+                div = arena.alloc("out_div", (n,), np.float64)
+                curl = arena.alloc("out_curl", (n,), np.float64)
+                parallel_map(pool, "divcurl", chunks, arena.descriptor(), base)
+                f = balsara_switch(div, curl, particles.cs, particles.h)
+                arena.publish("balsara_f", f)
+            out_a = arena.alloc("out_a", (n, dim), np.float64)
+            out_du = arena.alloc("out_du", (n,), np.float64)
+            params = dict(
+                base,
+                iad=use_iad,
+                viscosity=viscosity,
+                grad_h=grad_h,
+                use_balsara=viscosity.use_balsara,
+            )
+            replies = parallel_map(pool, "forces", chunks, arena.descriptor(), params)
+        with self._phase(phase, State.REDUCE):
+            max_mu = max((data["max_mu"] for _, data in replies), default=0.0)
+            particles.a[:] = out_a
+            particles.du[:] = out_du
+        return ForceResult(a=particles.a, du=particles.du, max_mu=max_mu)
+
+    # ------------------------------------------------------------------
+    def gravity(
+        self,
+        x: np.ndarray,
+        m: np.ndarray,
+        *,
+        g_const: float = 1.0,
+        softening: float = 0.0,
+        theta: float = 0.5,
+        order: int = 2,
+        tree: Optional[Octree] = None,
+        phase: str = "I",
+    ) -> GravityResult:
+        """Pool-parallel Barnes-Hut gravity.
+
+        The parent builds/reuses the tree and the node moments (cheap
+        prefix-sum passes), then partitions the populated target leaves
+        over the workers at ~equal particle counts; each worker runs the
+        frontier walk for its leaves only.
+        """
+        pool, arena = self._ensure()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        m = np.asarray(m, dtype=np.float64)
+        n, dim = x.shape
+        if tree is None:
+            tree = Octree.build(x, leaf_size=64)
+        moments = compute_node_moments(tree, x, m, order=order)
+        leaves = np.nonzero(tree.is_leaf() & (tree.node_counts() > 0))[0]
+        with self._phase(phase, State.FAN_OUT):
+            arena.reset()
+            total = 2 * _field_bytes((n, dim), np.float64)  # x + out_acc
+            total += 3 * _field_bytes((n,), np.float64)  # m, out_phi, slack
+            total += _field_bytes(leaves.shape, np.int64)
+            for name in _TREE_FIELDS:
+                arr = getattr(tree, name)
+                total += _field_bytes(arr.shape, arr.dtype)
+            for name in ("mass", "com", "m2", "m3", "m4"):
+                arr = getattr(moments, name)
+                if arr is not None:
+                    total += _field_bytes(arr.shape, arr.dtype)
+            arena.require(total)
+            arena.publish("x", x)
+            arena.publish("m", m)
+            arena.publish("leaves", leaves)
+            for name in _TREE_FIELDS:
+                arena.publish(f"tree_{name}", getattr(tree, name))
+            arena.publish("mom_mass", moments.mass)
+            arena.publish("mom_com", moments.com)
+            for name in ("m2", "m3", "m4"):
+                arr = getattr(moments, name)
+                if arr is not None:
+                    arena.publish(f"mom_{name}", arr)
+            out_acc = arena.alloc("out_acc", (n, dim), np.float64)
+            out_phi = arena.alloc("out_phi", (n,), np.float64)
+            out_acc[...] = 0.0
+            out_phi[...] = 0.0
+            # Split leaves at ~equal particle counts (their P2P/M2P work).
+            leaf_counts = tree.pend[leaves] - tree.pstart[leaves]
+            leaf_offsets = np.concatenate(
+                [[0], np.cumsum(leaf_counts, dtype=np.int64)]
+            )
+            chunks = row_chunks(leaves.size, self.n_chunks, offsets=leaf_offsets)
+            params = {
+                "box": tree.box,
+                "g_const": g_const,
+                "softening": softening,
+                "theta": theta,
+                "order": order,
+                "has_m2": moments.m2 is not None,
+                "has_m3": moments.m3 is not None,
+                "has_m4": moments.m4 is not None,
+            }
+            replies = parallel_map(pool, "gravity", chunks, arena.descriptor(), params)
+        with self._phase(phase, State.REDUCE):
+            acc = np.array(out_acc, copy=True)
+            phi = np.array(out_phi, copy=True)
+            n_p2p = sum(data["n_p2p"] for _, data in replies)
+            n_m2p = sum(data["n_m2p"] for _, data in replies)
+        return GravityResult(acc=acc, phi=phi, n_p2p=n_p2p, n_m2p=n_m2p)

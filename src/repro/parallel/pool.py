@@ -1,0 +1,186 @@
+"""Persistent process pool with shared-memory task fan-out.
+
+One long-lived worker process per slot, each holding a duplex pipe to the
+parent.  A task is a small picklable dict — kind, arena descriptor, row
+range, scalar parameters — and all bulk data travels through the
+:class:`~repro.parallel.shm.ShmArena`.  Workers execute the kind's
+handler from :data:`TASK_HANDLERS`, write bulk results into arena output
+fields at their disjoint row slice, and reply with scalars only.
+
+``parallel_map`` is the one fan-out primitive: split the query rows into
+chunks (pair-balanced when CSR offsets are given), round-robin the chunks
+over the workers, then gather replies in submission order.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import traceback
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .shm import ArenaView
+
+__all__ = ["WorkerPool", "parallel_map", "row_chunks"]
+
+#: kind -> handler(views: ArenaView, params: dict, lo: int, hi: int) -> dict
+TASK_HANDLERS: Dict[str, Callable[..., dict]] = {}
+
+
+def register_task(kind: str):
+    """Decorator adding a worker-side task handler under ``kind``."""
+
+    def _register(fn):
+        TASK_HANDLERS[kind] = fn
+        return fn
+
+    return _register
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: recv task, execute handler, reply; ``None`` stops."""
+    # Handlers live in repro.parallel.executor; import inside the worker so
+    # spawn-start contexts (no inherited module state) also find them.
+    from . import executor  # noqa: F401  (populates TASK_HANDLERS)
+
+    views = ArenaView()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if task is None:
+            break
+        try:
+            views.refresh(task["arena"])
+            handler = TASK_HANDLERS[task["kind"]]
+            data = handler(views, task["params"], task["lo"], task["hi"])
+            conn.send({"ok": True, "data": data})
+        except Exception:
+            conn.send({"ok": False, "error": traceback.format_exc()})
+    views.close()
+    conn.close()
+
+
+class WorkerPool:
+    """Fixed set of persistent worker processes fed over pipes."""
+
+    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        self.n_workers = n_workers
+        self._conns = []
+        self._procs = []
+        for _ in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def submit(self, worker: int, task: dict) -> None:
+        self._conns[worker].send(task)
+
+    def recv(self, worker: int) -> dict:
+        reply = self._conns[worker].recv()
+        if not reply["ok"]:
+            raise RuntimeError(
+                f"pool worker {worker} failed:\n{reply['error']}"
+            )
+        return reply["data"]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def row_chunks(
+    n_rows: int,
+    n_chunks: int,
+    offsets: np.ndarray | None = None,
+) -> List[Tuple[int, int]]:
+    """Contiguous row ranges covering ``[0, n_rows)``.
+
+    With CSR ``offsets`` the cuts fall on ~equal *pair* counts (the unit
+    of SPH work); otherwise rows are split evenly.
+    """
+    n_chunks = max(1, min(n_chunks, n_rows)) if n_rows else 1
+    if n_rows == 0:
+        return []
+    if offsets is not None:
+        from ..tree.neighborlist import balanced_row_slices
+
+        return balanced_row_slices(offsets, n_chunks)
+    bounds = np.linspace(0, n_rows, n_chunks + 1).astype(np.int64)
+    return [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+def parallel_map(
+    pool: WorkerPool,
+    kind: str,
+    chunks: Sequence[Tuple[int, int]],
+    arena_descriptor: dict,
+    params: dict,
+) -> List[Tuple[Tuple[int, int], Any]]:
+    """Fan ``chunks`` of rows out over the pool; gather replies in order.
+
+    Chunks are assigned round-robin; each worker processes its queue in
+    FIFO order, so replies can be collected deterministically.  Returns
+    ``[((lo, hi), reply_data), ...]`` in chunk order.
+    """
+    assignments: List[int] = []
+    for k, (lo, hi) in enumerate(chunks):
+        worker = k % pool.n_workers
+        pool.submit(
+            worker,
+            {
+                "kind": kind,
+                "arena": arena_descriptor,
+                "params": params,
+                "lo": int(lo),
+                "hi": int(hi),
+            },
+        )
+        assignments.append(worker)
+    return [
+        (chunk, pool.recv(worker))
+        for chunk, worker in zip(chunks, assignments)
+    ]

@@ -1,0 +1,180 @@
+"""Shared-memory arena for zero-copy SoA views across the process pool.
+
+The pool's workers never receive particle arrays through pickles: the
+parent publishes every input field (and allocates every output field)
+inside one ``multiprocessing.shared_memory`` block, and ships only a tiny
+*descriptor* — ``{field name: (offset, shape, dtype)}`` plus the block
+name — with each task.  Workers attach the block once per generation and
+map numpy views straight onto it, so fan-out cost is one memcpy on the
+parent side regardless of worker count.
+
+The arena is a bump allocator that is reset at the start of every
+parallel phase: inputs are published (copied in), outputs are allocated
+(views handed to the parent, written by the workers at disjoint row
+slices), and the next phase starts over.  When capacity runs out a new,
+larger block is created under a fresh name; workers notice the name
+change in the descriptor and re-attach.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["ShmArena", "ArenaView", "attach_shared_memory"]
+
+#: descriptor entry: (byte offset, shape, dtype string)
+FieldSpec = Tuple[int, Tuple[int, ...], str]
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker interference.
+
+    On Python < 3.13 merely *attaching* registers the segment with the
+    resource tracker, which then unlinks it when any worker exits — while
+    the parent still owns it.  There ``register`` is suppressed during the
+    attach (sending an *unregister* instead would erase the parent's own
+    registration in the shared tracker process).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+
+
+def _aligned(nbytes: int, alignment: int = 64) -> int:
+    return (nbytes + alignment - 1) // alignment * alignment
+
+
+class ShmArena:
+    """Parent-side bump allocator inside one shared-memory block."""
+
+    def __init__(self, capacity: int = 1 << 24) -> None:
+        self.shm = shared_memory.SharedMemory(create=True, size=int(capacity))
+        self.fields: Dict[str, FieldSpec] = {}
+        self._cursor = 0
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.shm.size
+
+    def reset(self) -> None:
+        """Start a new publish/alloc cycle (previous fields are dropped)."""
+        self.fields = {}
+        self._cursor = 0
+        self.generation += 1
+
+    def require(self, nbytes: int) -> None:
+        """Ensure capacity for the coming cycle, *before* any placement.
+
+        Growing reallocates under a fresh block name, so it must happen
+        while no field views are outstanding; :meth:`alloc` therefore
+        never grows and raises on overflow instead (callers size their
+        cycle up front — each field costs its byte size rounded up to the
+        64-byte alignment).
+        """
+        if self._cursor:
+            raise RuntimeError("require() must run right after reset()")
+        if nbytes <= self.capacity:
+            return
+        old = self.shm
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=int(_aligned(nbytes) * 2)
+        )
+        try:
+            old.close()
+        except BufferError:  # a stale numpy view keeps the mapping alive
+            pass
+        old.unlink()
+
+    def alloc(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Reserve an output field; returns the parent-side view."""
+        if name in self.fields:
+            raise ValueError(f"field {name!r} already placed this cycle")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if self._cursor + nbytes > self.capacity:
+            raise RuntimeError(
+                f"arena overflow placing {name!r} "
+                f"({self._cursor + nbytes} > {self.capacity}); "
+                "size the cycle with require() first"
+            )
+        offset = self._cursor
+        self._cursor += _aligned(nbytes)
+        self.fields[name] = (offset, tuple(int(s) for s in shape), dtype.str)
+        return np.ndarray(shape, dtype=dtype, buffer=self.shm.buf, offset=offset)
+
+    def publish(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Copy an input array into the arena; returns the arena view."""
+        array = np.ascontiguousarray(array)
+        view = self.alloc(name, array.shape, array.dtype)
+        view[...] = array
+        return view
+
+    def view(self, name: str) -> np.ndarray:
+        """Parent-side view of a previously placed field."""
+        offset, shape, dtype = self.fields[name]
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=self.shm.buf, offset=offset)
+
+    def descriptor(self) -> dict:
+        """Picklable layout shipped to workers with each task."""
+        return {
+            "shm_name": self.shm.name,
+            "generation": self.generation,
+            "fields": dict(self.fields),
+        }
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # outstanding numpy views; mapping dies with us
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
+class ArenaView:
+    """Worker-side window onto the parent's arena.
+
+    Caches the attachment per block name; ``refresh`` swaps to a new block
+    when the parent grew the arena.
+    """
+
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+        self._name: str | None = None
+        self._fields: Dict[str, FieldSpec] = {}
+
+    def refresh(self, descriptor: dict) -> None:
+        name = descriptor["shm_name"]
+        if name != self._name:
+            if self._shm is not None:
+                self._shm.close()
+            self._shm = attach_shared_memory(name)
+            self._name = name
+        self._fields = descriptor["fields"]
+
+    def view(self, name: str) -> np.ndarray:
+        if self._shm is None:
+            raise RuntimeError("ArenaView.refresh must run before view()")
+        offset, shape, dtype = self._fields[name]
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=offset)
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+            self._name = None

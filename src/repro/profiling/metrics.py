@@ -23,7 +23,12 @@ import numpy as np
 
 from .trace import State, Tracer
 
-__all__ = ["PopMetrics", "compute_pop_metrics"]
+__all__ = [
+    "PopMetrics",
+    "compute_pop_metrics",
+    "pool_overhead",
+    "neighbor_cache_report",
+]
 
 
 @dataclass(frozen=True)
@@ -91,4 +96,35 @@ def compute_pop_metrics(
         parallel_efficiency=par_eff,
         computation_scalability=comp_scal,
         global_efficiency=par_eff * comp_scal,
+    )
+
+
+def pool_overhead(tracer: Tracer, rank: int | None = None) -> dict[str, float]:
+    """Shared-memory-pool overhead recorded by :mod:`repro.parallel`.
+
+    Returns total seconds spent publishing/dispatching (``fan_out``) and
+    awaiting/merging worker results (``reduce``), alongside ``useful``
+    compute time, so benchmarks can report what fraction of a parallel
+    phase is orchestration rather than SPH work.
+    """
+    ranks = tracer.ranks if rank is None else [rank]
+    out = {"fan_out": 0.0, "reduce": 0.0, "useful": 0.0}
+    for r in ranks:
+        out["fan_out"] += tracer.time_in_state(r, State.FAN_OUT)
+        out["reduce"] += tracer.time_in_state(r, State.REDUCE)
+        out["useful"] += tracer.time_in_state(r, State.USEFUL)
+    return out
+
+
+def neighbor_cache_report(stats) -> str:
+    """One-line report of a Verlet-cache run (hit rate + invalidations).
+
+    ``stats`` is a :class:`~repro.tree.neighborlist.VerletCacheStats`
+    (duck-typed so profiling does not import the tree package).
+    """
+    return (
+        f"neighbor-cache: hit_rate={stats.hit_rate:5.3f} "
+        f"(hits={stats.hits}, builds={stats.builds}, "
+        f"invalidated: displacement={stats.misses_displacement}, "
+        f"h-change={stats.misses_h_change}, cold/shape={stats.misses_shape})"
     )

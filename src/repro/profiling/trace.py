@@ -22,13 +22,20 @@ __all__ = ["State", "TraceEvent", "Tracer"]
 
 
 class State(Enum):
-    """Execution states, matching the Figure 4 color legend."""
+    """Execution states, matching the Figure 4 color legend.
+
+    ``FAN_OUT`` and ``REDUCE`` extend the legend for the shared-memory
+    process pool (:mod:`repro.parallel`): publishing state to the workers
+    / dispatching tasks, and waiting for + merging their partial results.
+    """
 
     USEFUL = "useful"  # blue: computing phases
     MPI = "mpi"  # orange: MPI (collective) communication
     SYNC = "sync"  # red: thread synchronization
     FORK_JOIN = "fork-join"  # yellow: thread fork/join
     IDLE = "idle"  # black: idle threads
+    FAN_OUT = "pool-fan-out"  # pool: publish shared arrays + dispatch tasks
+    REDUCE = "pool-reduce"  # pool: await workers + merge partial results
 
 
 @dataclass(frozen=True)

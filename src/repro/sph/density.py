@@ -35,6 +35,7 @@ def compute_density(
     *,
     volume_elements: str = "standard",
     xmass_exponent: float = 0.7,
+    rows: tuple[int, int] | None = None,
 ) -> np.ndarray:
     """Update ``particles.rho`` in place and return it.
 
@@ -45,31 +46,52 @@ def compute_density(
     xmass_exponent:
         Exponent ``k`` of the generalized estimator ``X = (m/rho_prev)^k``.
         Ignored for the standard summation.
+    rows:
+        Optional query-row range ``(lo, hi)``: evaluate only those
+        particles and *return* the slice without touching
+        ``particles.rho`` — the worker-side entry point of the
+        process-pool fan-out.  The generalized estimator then requires a
+        valid (positive) global ``particles.rho`` from a previous pass;
+        the bootstrap summation is orchestrated by the caller.
     """
     if volume_elements not in ("standard", "generalized"):
         raise ValueError(
             f"volume_elements must be 'standard' or 'generalized', got {volume_elements!r}"
         )
-    i, j = nlist.pairs()
-    dx, r = nlist.pair_geometry(particles.x, box)
+    if rows is None:
+        lo, hi = 0, particles.n
+        sub = nlist
+    else:
+        lo, hi = rows
+        sub = nlist.row_slice(lo, hi)
+    i = sub.pair_i() + lo
+    j = sub.indices
+    _, r = sub.pair_geometry(particles.x, box, row_offset=lo)
     dim = particles.dim
     w = kernel.value(r, particles.h[i], dim)
 
     if volume_elements == "standard":
-        rho = nlist.reduce(particles.m[j] * w)
+        rho = sub.reduce(particles.m[j] * w)
     else:
         rho_prev = particles.rho
         if np.any(rho_prev <= 0.0):
+            if rows is not None:
+                raise ValueError(
+                    "generalized volume elements in slice mode need a "
+                    "bootstrapped global density; run a standard pass first"
+                )
             # First call: bootstrap with a standard summation.
-            rho_prev = nlist.reduce(particles.m[j] * w)
+            rho_prev = sub.reduce(particles.m[j] * w)
         xmass = (particles.m / rho_prev) ** float(xmass_exponent)
-        kappa = nlist.reduce(xmass[j] * w)
+        kappa = sub.reduce(xmass[j] * w)
         if np.any(kappa <= 0.0):
             raise ValueError(
                 "generalized volume elements: a particle has no kernel support "
                 "(kappa <= 0); check neighbour lists include the self pair"
             )
-        rho = particles.m * kappa / xmass
+        rho = particles.m[lo:hi] * kappa / xmass[lo:hi]
+    if rows is not None:
+        return rho
     particles.rho[:] = rho
     return particles.rho
 
@@ -79,18 +101,27 @@ def grad_h_terms(
     nlist: NeighborList,
     kernel: Kernel,
     box: Box | None = None,
+    rows: tuple[int, int] | None = None,
 ) -> np.ndarray:
     """Grad-h correction factors ``Omega_i`` (Springel & Hernquist 2002).
 
     ``Omega_i = 1 + (h_i / (dim rho_i)) sum_j m_j dW/dh(r_ij, h_i)``.
     Pressure-gradient terms are divided by ``Omega_i`` to keep the scheme
-    consistent when ``h`` varies in space.
+    consistent when ``h`` varies in space.  ``rows`` restricts the
+    evaluation to a query-row slice (pool fan-out).
     """
-    i, j = nlist.pairs()
-    _, r = nlist.pair_geometry(particles.x, box)
+    if rows is None:
+        lo, hi = 0, particles.n
+        sub = nlist
+    else:
+        lo, hi = rows
+        sub = nlist.row_slice(lo, hi)
+    i = sub.pair_i() + lo
+    j = sub.indices
+    _, r = sub.pair_geometry(particles.x, box, row_offset=lo)
     dim = particles.dim
     dwdh = kernel.h_derivative(r, particles.h[i], dim)
-    s = nlist.reduce(particles.m[j] * dwdh)
-    omega = 1.0 + particles.h / (dim * particles.rho) * s
+    s = sub.reduce(particles.m[j] * dwdh)
+    omega = 1.0 + particles.h[lo:hi] / (dim * particles.rho[lo:hi]) * s
     # Guard against pathological clustering driving Omega toward 0.
     return np.clip(omega, 0.1, 10.0)

@@ -48,24 +48,36 @@ def velocity_divergence_curl(
     nlist: NeighborList,
     kernel: Kernel,
     box: Box | None = None,
+    rows: Tuple[int, int] | None = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """SPH estimates of ``div v`` and ``|curl v|`` per particle."""
-    i, j = nlist.pairs()
-    dx, r = nlist.pair_geometry(particles.x, box)
+    """SPH estimates of ``div v`` and ``|curl v|`` per particle.
+
+    ``rows`` restricts the evaluation to a query-row slice (pool fan-out).
+    """
+    if rows is None:
+        lo, hi = 0, particles.n
+        sub = nlist
+    else:
+        lo, hi = rows
+        sub = nlist.row_slice(lo, hi)
+    i = sub.pair_i() + lo
+    j = sub.indices
+    dx, r = sub.pair_geometry(particles.x, box, row_offset=lo)
     dim = particles.dim
+    rho = particles.rho[lo:hi]
     grad = kernel.gradient(dx, r, particles.h[i], dim)
     v_ij = particles.v[i] - particles.v[j]
     mj = particles.m[j]
-    div = -nlist.reduce(mj * np.einsum("kd,kd->k", v_ij, grad)) / particles.rho
+    div = -sub.reduce(mj * np.einsum("kd,kd->k", v_ij, grad)) / rho
     if dim == 3:
         cross = np.cross(v_ij, grad)
-        curl_vec = nlist.reduce(mj[:, None] * cross)
-        curl = np.sqrt(np.einsum("kd,kd->k", curl_vec, curl_vec)) / particles.rho
+        curl_vec = sub.reduce(mj[:, None] * cross)
+        curl = np.sqrt(np.einsum("kd,kd->k", curl_vec, curl_vec)) / rho
     elif dim == 2:
         cz = v_ij[:, 0] * grad[:, 1] - v_ij[:, 1] * grad[:, 0]
-        curl = np.abs(nlist.reduce(mj * cz)) / particles.rho
+        curl = np.abs(sub.reduce(mj * cz)) / rho
     else:
-        curl = np.zeros(particles.n)
+        curl = np.zeros(hi - lo)
     return div, curl
 
 
@@ -79,6 +91,9 @@ def compute_forces(
     viscosity: ViscosityParams = ViscosityParams(),
     grad_h: bool = False,
     c_matrices: np.ndarray | None = None,
+    rows: Tuple[int, int] | None = None,
+    omega: np.ndarray | None = None,
+    balsara_f: np.ndarray | None = None,
 ) -> ForceResult:
     """Evaluate accelerations and energy rates; updates particles in place.
 
@@ -90,14 +105,37 @@ def compute_forces(
         Pre-computed IAD matrices; computed here when omitted.
     grad_h:
         Apply grad-h ``Omega`` corrections to the pressure terms.
+    rows:
+        Optional query-row range ``(lo, hi)``: evaluate only those rows
+        and return slice-sized arrays without touching
+        ``particles.a``/``particles.du`` (pool fan-out mode).  Slice mode
+        requires every cross-particle input to be global: ``c_matrices``
+        for IAD, ``omega`` when ``grad_h``, ``balsara_f`` when the
+        viscosity uses the Balsara switch.
+    omega, balsara_f:
+        Pre-computed global grad-h factors / Balsara limiter values; both
+        are computed here when omitted (serial path).
     """
     if gradients not in ("standard", "iad"):
         raise ValueError(f"gradients must be 'standard' or 'iad', got {gradients!r}")
     if np.any(particles.rho <= 0.0):
         raise ValueError("densities must be computed (positive) before forces")
 
-    i, j = nlist.pairs()
-    dx, r = nlist.pair_geometry(particles.x, box)
+    if rows is None:
+        lo, hi = 0, particles.n
+        sub = nlist
+    else:
+        lo, hi = rows
+        sub = nlist.row_slice(lo, hi)
+        if gradients == "iad" and c_matrices is None:
+            raise ValueError("slice mode needs pre-computed global c_matrices")
+        if grad_h and omega is None:
+            raise ValueError("slice mode needs pre-computed global omega")
+        if viscosity.use_balsara and balsara_f is None:
+            raise ValueError("slice mode needs pre-computed global balsara_f")
+    i = sub.pair_i() + lo
+    j = sub.indices
+    dx, r = sub.pair_geometry(particles.x, box, row_offset=lo)
     dim = particles.dim
     h_i = particles.h[i]
     h_j = particles.h[j]
@@ -109,19 +147,21 @@ def compute_forces(
             c_matrices = compute_iad_matrices(particles, nlist, kernel, box)
         pg = iad_pair_gradients(c_matrices, kernel, i, j, dx, r, h_i, h_j, dim)
 
-    omega = (
-        grad_h_terms(particles, nlist, kernel, box)
-        if grad_h
-        else np.ones(particles.n)
-    )
+    if omega is None:
+        omega = (
+            grad_h_terms(particles, nlist, kernel, box)
+            if grad_h
+            else np.ones(particles.n)
+        )
     p_over = particles.p / (omega * particles.rho**2)
 
     v_ij = particles.v[i] - particles.v[j]
     balsara_i = balsara_j = None
     if viscosity.use_balsara:
-        div_v, curl_v = velocity_divergence_curl(particles, nlist, kernel, box)
-        f = balsara_switch(div_v, curl_v, particles.cs, particles.h)
-        balsara_i, balsara_j = f[i], f[j]
+        if balsara_f is None:
+            div_v, curl_v = velocity_divergence_curl(particles, nlist, kernel, box)
+            balsara_f = balsara_switch(div_v, curl_v, particles.cs, particles.h)
+        balsara_i, balsara_j = balsara_f[i], balsara_f[j]
     pi_ij = pairwise_viscosity(
         viscosity,
         dx,
@@ -141,25 +181,32 @@ def compute_forces(
     gbar = pg.mean
     pressure_pair = p_over[i][:, None] * pg.gi + p_over[j][:, None] * pg.gj
     acc_pair = -mj[:, None] * (pressure_pair + pi_ij[:, None] * gbar)
-    a = nlist.reduce(acc_pair)
+    a = sub.reduce(acc_pair)
 
     vdot_gi = np.einsum("kd,kd->k", v_ij, pg.gi)
     vdot_gbar = np.einsum("kd,kd->k", v_ij, gbar)
-    du = p_over * nlist.reduce(mj * vdot_gi) + 0.5 * nlist.reduce(
+    du = p_over[lo:hi] * sub.reduce(mj * vdot_gi) + 0.5 * sub.reduce(
         mj * pi_ij * vdot_gbar
     )
 
     # Viscous signal diagnostic: max |mu_ij| enters the CFL criterion.
+    # Restricted to pairs inside the true kernel support so padded
+    # Verlet-skin lists (repro.tree.neighborlist.VerletNeighborCache)
+    # yield exactly the fresh-list value; on exact lists the mask is a
+    # no-op because the symmetric cutoff *is* the support.
     hbar = 0.5 * (h_i + h_j)
     vdotr = np.einsum("kd,kd->k", v_ij, dx)
+    in_support = r <= kernel.support * np.maximum(h_i, h_j)
     with np.errstate(invalid="ignore", divide="ignore"):
         mu = np.where(
-            vdotr < 0.0,
+            (vdotr < 0.0) & in_support,
             hbar * vdotr / (r * r + viscosity.eta**2 * hbar * hbar),
             0.0,
         )
     max_mu = float(np.abs(mu).max()) if mu.size else 0.0
 
+    if rows is not None:
+        return ForceResult(a=a, du=du, max_mu=max_mu)
     particles.a[:] = a
     particles.du[:] = du
     return ForceResult(a=particles.a, du=particles.du, max_mu=max_mu)

@@ -21,9 +21,14 @@ import numpy as np
 
 from ..tree.box import Box
 from ..tree.cellgrid import cell_grid_search
-from ..tree.neighborlist import NeighborList
+from ..tree.neighborlist import NeighborList, VerletNeighborCache
 
-__all__ = ["SmoothingConfig", "update_smoothing_lengths", "adapt_smoothing_lengths"]
+__all__ = [
+    "SmoothingConfig",
+    "update_smoothing_lengths",
+    "adapt_smoothing_lengths",
+    "adapt_from_cached_list",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,7 @@ def adapt_smoothing_lengths(
     box: Box | None = None,
     config: SmoothingConfig = SmoothingConfig(),
     search: Callable[..., NeighborList] | None = None,
+    cache: VerletNeighborCache | None = None,
 ) -> NeighborList:
     """Iterate h and the neighbour search until counts hit the target band.
 
@@ -64,13 +70,22 @@ def adapt_smoothing_lengths(
 
     ``search`` defaults to the cell-grid path; pass
     ``octree.walk_neighbors``-compatible callables to use the tree walk.
+
+    With a :class:`~repro.tree.neighborlist.VerletNeighborCache`, every
+    search uses the padded radius ``(1 + skin) * 2 h`` and the final
+    (padded) list is stored in the cache together with the reference
+    ``x``/``h``; the driver serves subsequent steps from the cache until a
+    particle out-drifts the skin.  The neighbour *counts* driving the h
+    iteration are unaffected: they are always re-filtered to the true
+    gather support ``r <= 2 h_i``.
     """
     if search is None:
         search = lambda x, radii, box, mode: cell_grid_search(  # noqa: E731
             x, radii, box, mode=mode
         )
     dim = particles.dim
-    nlist = search(particles.x, 2.0 * particles.h, box, "symmetric")
+    factor = 2.0 if cache is None else cache.search_factor
+    nlist = search(particles.x, factor * particles.h, box, "symmetric")
     for _ in range(config.max_iterations):
         # Count only gather neighbours (r <= 2 h_i): recompute from the
         # symmetric list so no extra search is needed.
@@ -83,5 +98,59 @@ def adapt_smoothing_lengths(
             break
         h_new = update_smoothing_lengths(particles.h, counts, config.n_target, dim)
         particles.h[:] = np.clip(h_new, config.h_min, config.h_max)
-        nlist = search(particles.x, 2.0 * particles.h, box, "symmetric")
+        nlist = search(particles.x, factor * particles.h, box, "symmetric")
+    if cache is not None:
+        cache.store(nlist, particles.x, particles.h)
+    return nlist
+
+
+def adapt_from_cached_list(
+    particles,
+    nlist: NeighborList,
+    box: Box | None = None,
+    config: SmoothingConfig = SmoothingConfig(),
+    cache: VerletNeighborCache | None = None,
+) -> NeighborList | None:
+    """Run the h iteration off a cached padded list — no fresh search.
+
+    While every iterate stays inside the cache's h-growth budget
+    (:meth:`~repro.tree.neighborlist.VerletNeighborCache.covers`), the
+    neighbour counts filtered to ``r <= 2 h_i`` computed from the padded
+    list are *exact*, so the damped fixed-point iteration takes exactly
+    the same h trajectory a fresh-search adaptation would.  Returns the
+    padded list on success.
+
+    If an iterate out-grows the budget, ``particles.h`` is restored to
+    its entry value, the cache is invalidated (the provisional lookup hit
+    is re-counted as an h-change miss) and ``None`` is returned — the
+    caller then falls back to :func:`adapt_smoothing_lengths`, which
+    replays the identical iteration with real searches.
+    """
+    if cache is None:
+        raise ValueError("adapt_from_cached_list requires the owning cache")
+    dim = particles.dim
+    i, _ = nlist.pairs()
+    _, r = nlist.pair_geometry(particles.x, box)
+    h_entry = particles.h.copy()
+
+    def bail() -> None:
+        particles.h[:] = h_entry
+        cache.stats.hits -= 1
+        cache.stats.misses_h_change += 1
+        cache.invalidate()
+
+    for _ in range(config.max_iterations):
+        if not cache.covers(particles.h):
+            bail()
+            return None
+        within = r <= 2.0 * particles.h[i]
+        counts = np.bincount(i[within], minlength=particles.n)
+        rel_err = np.abs(counts - config.n_target) / config.n_target
+        if float(rel_err.max(initial=0.0)) <= config.tolerance:
+            break
+        h_new = update_smoothing_lengths(particles.h, counts, config.n_target, dim)
+        particles.h[:] = np.clip(h_new, config.h_min, config.h_max)
+    if not cache.covers(particles.h):
+        bail()
+        return None
     return nlist

@@ -10,14 +10,19 @@ over the flat pair arrays followed by segmented reductions
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .box import Box
 
-__all__ = ["NeighborList"]
+__all__ = [
+    "NeighborList",
+    "balanced_row_slices",
+    "VerletCacheStats",
+    "VerletNeighborCache",
+]
 
 
 @dataclass(frozen=True)
@@ -73,16 +78,34 @@ class NeighborList:
         """Neighbour indices of a single particle (for tests/diagnostics)."""
         return self.indices[self.offsets[i] : self.offsets[i + 1]]
 
+    def row_slice(self, lo: int, hi: int) -> "NeighborList":
+        """Sub-list for query rows ``[lo, hi)``.
+
+        ``pair_i()`` of the slice is *local* (0-based); ``indices`` still
+        refer to the global particle set, so slice kernels index global
+        state arrays with ``lo + pair_i()`` — the substrate of the
+        process-pool fan-out in :mod:`repro.parallel`.
+        """
+        if not 0 <= lo <= hi <= self.n:
+            raise ValueError(f"row slice [{lo}, {hi}) out of range for n={self.n}")
+        offsets = self.offsets[lo : hi + 1] - self.offsets[lo]
+        indices = self.indices[self.offsets[lo] : self.offsets[hi]]
+        return NeighborList(offsets=offsets, indices=indices)
+
     # ------------------------------------------------------------------
     def pair_geometry(
-        self, x: np.ndarray, box: Box | None = None
+        self, x: np.ndarray, box: Box | None = None, row_offset: int = 0
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Separation vectors and distances for every pair.
 
         Returns ``(dx, r)`` with ``dx[k] = x_i - x_j`` under the minimum
-        image convention of ``box`` (if given) and ``r = |dx|``.
+        image convention of ``box`` (if given) and ``r = |dx|``.  For a
+        :meth:`row_slice` sub-list, pass the slice start as ``row_offset``
+        so query indices address the global position array.
         """
         i, j = self.pairs()
+        if row_offset:
+            i = i + row_offset
         dx = x[i] - x[j]
         if box is not None:
             dx = box.min_image(dx)
@@ -107,3 +130,150 @@ class NeighborList:
         for col in range(values.shape[1]):
             out[:, col] = np.bincount(i, weights=values[:, col], minlength=self.n)
         return out
+
+
+def balanced_row_slices(offsets: np.ndarray, n_slices: int) -> list[Tuple[int, int]]:
+    """Split query rows into ``n_slices`` contiguous ranges of ~equal pairs.
+
+    Pair work, not row count, is what the SPH kernels cost, so the
+    process-pool fan-out splits the CSR ``offsets`` at equal-pair
+    boundaries.  Empty ranges are dropped; at most ``n_slices`` are
+    returned.
+    """
+    offsets = np.asarray(offsets)
+    n = offsets.size - 1
+    if n_slices < 1:
+        raise ValueError(f"n_slices must be >= 1, got {n_slices}")
+    total = int(offsets[-1])
+    targets = (np.arange(1, n_slices) * total) // n_slices
+    cuts = np.searchsorted(offsets, targets, side="left")
+    bounds = np.concatenate([[0], cuts, [n]])
+    bounds = np.maximum.accumulate(np.clip(bounds, 0, n))
+    return [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+# ----------------------------------------------------------------------
+# Verlet-skin neighbour-list cache
+# ----------------------------------------------------------------------
+@dataclass
+class VerletCacheStats:
+    """Counters of one run's cache behaviour (reported by profiling)."""
+
+    builds: int = 0
+    hits: int = 0
+    misses_displacement: int = 0
+    misses_h_change: int = 0
+    misses_shape: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return (
+            self.hits
+            + self.misses_displacement
+            + self.misses_h_change
+            + self.misses_shape
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never asked)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class VerletNeighborCache:
+    """Verlet-skin neighbour-list cache (skip Algorithm-1 phases B-D).
+
+    Lists are built once with padded support ``(1 + skin) * 2 h`` and
+    reused while the state stays within the skin budget, split evenly
+    between motion and smoothing-length growth:
+
+    * displacement: ``|x - x_ref| <= skin/2 * h_ref`` per particle;
+    * h growth: ``h <= (1 + skin/2) * h_ref`` per particle (shrinking is
+      always safe).
+
+    Under both bounds any pair within the true symmetric support
+    ``2 max(h_i, h_j)`` had build-time separation at most ``2 max(h) +
+    d_i + d_j <= (1 + skin) * 2 max(h_ref)`` — i.e. the pair is in the
+    cached list, so neighbour *counts* filtered to ``r <= 2 h`` are exact
+    and the h-adaptation iteration can run off the cached list without a
+    fresh search.  Extra padded pairs are harmless because every SPH pair
+    term carries a kernel factor that vanishes beyond ``2 h`` (the force
+    loop masks its one non-kernel diagnostic, ``max |mu|``, to the true
+    support), so cached and fresh evaluations agree to summation roundoff
+    (bitwise when the pair ordering coincides).
+
+    The cache invalidates itself whenever a smoothing length out-grows
+    the budget, whenever the particle count changes, and whenever any
+    displacement exceeds the skin allowance.
+    """
+
+    skin: float = 0.3
+    stats: VerletCacheStats = field(default_factory=VerletCacheStats)
+    _nlist: Optional[NeighborList] = None
+    _x_ref: Optional[np.ndarray] = None
+    _h_ref: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.skin < 1.0:
+            raise ValueError(f"skin must be in (0, 1), got {self.skin}")
+
+    @property
+    def search_factor(self) -> float:
+        """Search-radius multiplier of ``h`` for cache-compatible builds."""
+        return (1.0 + self.skin) * 2.0
+
+    @property
+    def h_ref(self) -> Optional[np.ndarray]:
+        """Smoothing lengths the cached list was built with."""
+        return self._h_ref
+
+    def covers(self, h: np.ndarray) -> bool:
+        """True while ``h`` stays within the growth half of the skin."""
+        if self._h_ref is None:
+            return False
+        return bool(np.all(h <= (1.0 + 0.5 * self.skin) * self._h_ref))
+
+    def lookup(
+        self, x: np.ndarray, h: np.ndarray, box: Box | None = None
+    ) -> Optional[NeighborList]:
+        """Return the cached list if still valid for state ``(x, h)``."""
+        if self._nlist is None or self._x_ref is None:
+            self.stats.misses_shape += 1
+            return None
+        if x.shape != self._x_ref.shape:
+            self.stats.misses_shape += 1
+            self.invalidate()
+            return None
+        if not self.covers(h):
+            self.stats.misses_h_change += 1
+            self.invalidate()
+            return None
+        dx = x - self._x_ref
+        if box is not None:
+            dx = box.min_image(dx)
+        disp = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+        if np.any(disp > 0.5 * self.skin * self._h_ref):
+            self.stats.misses_displacement += 1
+            self.invalidate()
+            return None
+        self.stats.hits += 1
+        return self._nlist
+
+    def store(self, nlist: NeighborList, x: np.ndarray, h: np.ndarray) -> None:
+        """Record a freshly built padded list and its reference state."""
+        self._nlist = nlist
+        self._x_ref = np.array(x, copy=True)
+        self._h_ref = np.array(h, copy=True)
+        self.stats.builds += 1
+
+    def invalidate(self) -> None:
+        """Drop the cached list (forces a rebuild on the next lookup)."""
+        self._nlist = None
+        self._x_ref = None
+        self._h_ref = None

@@ -1,0 +1,205 @@
+"""Verlet-skin neighbour-list cache: correctness and invalidation.
+
+The cache serves lists built at padded radius ``(1 + skin) * 2h``.  While
+every particle stays within ``skin * h`` of its reference position the
+padded list still contains every true pair, and the extra pairs sit
+beyond kernel support so they contribute exact zeros — kernels evaluated
+on the cached list must match a fresh exact-radius search *bit for bit*.
+Any displacement beyond the skin, any h change, and any shape change must
+invalidate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.particles import ParticleSystem
+from repro.timestepping.steppers import TimestepParams
+from repro.core.simulation import Simulation
+from repro.ics.square_patch import SquarePatchConfig, make_square_patch
+from repro.kernels.registry import make_kernel
+from repro.parallel import ExecConfig
+from repro.profiling.metrics import neighbor_cache_report
+from repro.sph.density import compute_density
+from repro.sph.forces import compute_forces
+from repro.sph.smoothing import SmoothingConfig, adapt_smoothing_lengths
+from repro.tree.box import Box
+from repro.tree.cellgrid import cell_grid_search
+from repro.tree.neighborlist import NeighborList, VerletNeighborCache
+
+
+@pytest.fixture
+def cloud(rng):
+    n = 400
+    box = Box.cube(0.0, 1.0, dim=3, periodic=True)
+    particles = ParticleSystem(
+        x=rng.random((n, 3)),
+        v=rng.normal(scale=0.1, size=(n, 3)),
+        m=np.full(n, 1.0 / n),
+        h=np.full(n, 0.1),
+    )
+    particles.u[:] = 1.0
+    return particles, box
+
+
+def _warm_cache(particles, box, skin=0.3):
+    cache = VerletNeighborCache(skin=skin)
+    adapt_smoothing_lengths(
+        particles, box, SmoothingConfig(n_target=40), cache=cache
+    )
+    assert cache.stats.builds == 1
+    return cache
+
+
+def _filter_to_support(nlist: NeighborList, particles, box) -> NeighborList:
+    """Drop padded pairs beyond symmetric kernel support, keeping order."""
+    i, j = nlist.pairs()
+    _, r = nlist.pair_geometry(particles.x, box)
+    keep = r <= 2.0 * np.maximum(particles.h[i], particles.h[j])
+    offsets = np.concatenate(
+        [[0], np.cumsum(np.bincount(i[keep], minlength=particles.n))]
+    )
+    return NeighborList(offsets=offsets, indices=nlist.indices[keep])
+
+
+def test_cached_list_matches_fresh_search(cloud, rng):
+    particles, box = cloud
+    cache = _warm_cache(particles, box)
+
+    # Drift everyone by strictly less than skin * h.
+    step = 0.4 * cache.skin * particles.h.min()
+    particles.x += rng.uniform(-step, step, size=particles.x.shape) / np.sqrt(3)
+    particles.x[:] = box.wrap(particles.x)
+
+    cached = cache.lookup(particles.x, particles.h, box)
+    assert cached is not None, "within-skin drift must be a cache hit"
+    assert cache.stats.hits == 1
+
+    kernel = make_kernel("sinc-s5")
+
+    # Bitwise: the padded extra pairs must contribute exact zeros, so the
+    # cached list and the same list filtered to true support agree.
+    filtered = _filter_to_support(cached, particles, box)
+    assert filtered.n_pairs < cached.n_pairs, "skin should pad some pairs"
+    rho_cached = compute_density(particles.copy(), cached, kernel, box)
+    rho_filtered = compute_density(particles.copy(), filtered, kernel, box)
+    assert np.array_equal(rho_cached, rho_filtered)
+
+    # Roundoff-level: a fresh exact-radius search yields a different
+    # in-row pair ordering (cell assignment moved), so agreement is to
+    # summation roundoff, not bitwise.
+    fresh = cell_grid_search(particles.x, 2.0 * particles.h, box, mode="symmetric")
+    fi, fj = fresh.pairs()
+    ci, cj = cached.pairs()
+    fresh_pairs = set(zip(fi.tolist(), fj.tolist()))
+    cached_pairs = set(zip(ci.tolist(), cj.tolist()))
+    assert fresh_pairs <= cached_pairs, "cached list lost a true pair"
+    rho_fresh = compute_density(particles.copy(), fresh, kernel, box)
+    np.testing.assert_allclose(rho_cached, rho_fresh, rtol=1e-13, atol=0.0)
+
+    for p, nlist in ((particles.copy(), cached), (particles.copy(), filtered)):
+        p.rho[:] = rho_fresh
+        p.p[:] = (2.0 / 3.0) * p.rho * p.u
+        p.cs[:] = np.sqrt(p.p / p.rho)
+        result = compute_forces(p, nlist, kernel, box)
+        if nlist is cached:
+            a_ref, du_ref, mu_ref = result.a.copy(), result.du.copy(), result.max_mu
+        else:
+            assert np.array_equal(a_ref, result.a)
+            assert np.array_equal(du_ref, result.du)
+            assert mu_ref == result.max_mu
+
+
+def test_teleport_invalidates(cloud):
+    particles, box = cloud
+    cache = _warm_cache(particles, box)
+
+    particles.x[7] = box.wrap(
+        particles.x[7:8] + 2.5 * cache.skin * particles.h[7]
+    )[0]
+    assert cache.lookup(particles.x, particles.h, box) is None
+    assert cache.stats.misses_displacement == 1
+    # The cache stays invalid until a new list is stored.
+    assert cache.lookup(particles.x, particles.h, box) is None
+
+
+def test_h_change_invalidates(cloud):
+    particles, box = cloud
+    cache = _warm_cache(particles, box)
+
+    # Shrinking h (or growing within the skin's growth half) keeps the
+    # padded list a strict superset of the true pairs: still a hit.
+    h_small = particles.h * 0.9
+    assert cache.lookup(particles.x, h_small, box) is not None
+    assert cache.stats.hits == 1
+
+    # Out-growing the budget must invalidate.
+    h_big = particles.h.copy()
+    h_big[3] *= 1.0 + 0.6 * cache.skin
+    assert cache.lookup(particles.x, h_big, box) is None
+    assert cache.stats.misses_h_change == 1
+
+
+def test_shape_change_invalidates(cloud):
+    particles, box = cloud
+    cache = _warm_cache(particles, box)
+    fewer = particles.x[:-1]
+    assert cache.lookup(fewer, particles.h[:-1], box) is None
+    assert cache.stats.misses_shape >= 1
+
+
+# CFL-only time stepping: the patch's initial u is near zero, so the
+# energy criterion collapses dt to roundoff and nothing would move.
+RUN_CONFIG = SimulationConfig().with_(
+    n_neighbors=30, timestep_params=TimestepParams(use_energy_criterion=False)
+)
+
+
+def test_cache_hit_rate_positive_over_ten_step_run():
+    """Acceptance: the square patch reuses lists across real steps."""
+    particles, box, eos = make_square_patch(SquarePatchConfig(side=10, layers=6))
+    sim = Simulation(
+        particles,
+        box,
+        eos,
+        config=RUN_CONFIG,
+        exec_config=ExecConfig(neighbor_cache=True),
+    )
+    sim.run(n_steps=10)
+    stats = sim.neighbor_cache_stats
+    assert stats is not None
+    assert stats.hits > 0
+    assert stats.hit_rate > 0.0
+    report = neighbor_cache_report(stats)
+    assert "hit_rate" in report
+
+
+def test_cache_on_off_runs_agree_within_tolerance():
+    """Cached runs track the exact-search runs through real dynamics."""
+
+    def run(exec_config):
+        particles, box, eos = make_square_patch(
+            SquarePatchConfig(side=10, layers=6)
+        )
+        sim = Simulation(
+            particles, box, eos, config=RUN_CONFIG, exec_config=exec_config
+        )
+        sim.run(n_steps=5)
+        return sim
+
+    ref = run(None)
+    cached = run(ExecConfig(neighbor_cache=True))
+    # h adaptation replays bitwise off the cached list; field differences
+    # come only from pair-summation ordering, i.e. roundoff.
+    assert np.array_equal(cached.particles.h, ref.particles.h)
+    np.testing.assert_allclose(
+        cached.particles.x, ref.particles.x, rtol=1e-10, atol=1e-13
+    )
+    np.testing.assert_allclose(
+        cached.particles.rho, ref.particles.rho, rtol=1e-10, atol=0.0
+    )
+    np.testing.assert_allclose(
+        cached.particles.u, ref.particles.u, rtol=1e-10, atol=1e-13
+    )
