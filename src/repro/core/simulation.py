@@ -49,6 +49,7 @@ from .phases import Phase
 
 if TYPE_CHECKING:  # avoid the core <-> parallel import cycle at runtime
     from ..parallel.executor import ExecConfig
+    from ..resilience.checkpoint import ResilienceConfig
 
 __all__ = ["StepStats", "Simulation"]
 
@@ -91,6 +92,12 @@ class Simulation:
         shared-memory process pool (``workers >= 1``) and/or the
         Verlet-skin neighbour-list cache.  ``None`` (default) keeps the
         fully serial, cache-free path.
+    resilience:
+        Optional :class:`~repro.resilience.checkpoint.ResilienceConfig`:
+        the step loop writes atomic rolling checkpoints every K steps
+        (K fixed or Young-auto) and ``run()`` restores the newest valid
+        one first when ``autoresume`` is set.  ``None`` (default) keeps
+        the driver checkpoint-free.
     """
 
     particles: ParticleSystem
@@ -101,6 +108,7 @@ class Simulation:
     tracer: Tracer = field(default_factory=Tracer)
     rank: int = 0
     exec_config: Optional["ExecConfig"] = None
+    resilience: Optional["ResilienceConfig"] = None
 
     def __post_init__(self) -> None:
         self.kernel = make_kernel(self.config.kernel)
@@ -132,6 +140,11 @@ class Simulation:
                 self._engine = ParallelEngine(
                     self.exec_config, tracer=self.tracer, rank=self.rank
                 )
+        self.checkpoint_manager = None
+        if self.resilience is not None:
+            from ..resilience.checkpoint import CheckpointManager
+
+            self.checkpoint_manager = CheckpointManager(self.resilience)
         self.initial_conservation: Optional[ConservationState] = None
         # Table 4 "Error Detection": with error_detection enabled the
         # driver runs the SDC monitor and the ABFT force guard each step
@@ -322,6 +335,9 @@ class Simulation:
     def step(self) -> StepStats:
         p = self.particles
         tr = self.tracer
+        if self._engine is not None:
+            # Chaos events and recovery logs are keyed by driver step.
+            self._engine.set_step(self.step_index)
         if not self._rates_current:
             self.compute_rates()
         if self.initial_conservation is None:
@@ -369,14 +385,27 @@ class Simulation:
             conservation=conservation,
         )
         self.history.append(stats)
+        if self.checkpoint_manager is not None:
+            self.checkpoint_manager.after_step(self)
         return stats
 
     def run(
         self, n_steps: Optional[int] = None, t_end: Optional[float] = None
     ) -> List[StepStats]:
-        """Run for ``n_steps`` steps and/or until ``t_end`` simulated time."""
+        """Run for ``n_steps`` steps and/or until ``t_end`` simulated time.
+
+        With ``resilience.autoresume`` set, a fresh driver first restores
+        the newest valid rolling checkpoint (if any) and continues from
+        there; ``n_steps`` then counts the *remaining* steps of this call.
+        """
         if n_steps is None and t_end is None:
             raise ValueError("provide n_steps and/or t_end")
+        if (
+            self.resilience is not None
+            and self.resilience.autoresume
+            and self.step_index == 0
+        ):
+            self.resume()
         done: List[StepStats] = []
         while True:
             if n_steps is not None and len(done) >= n_steps:
@@ -387,10 +416,36 @@ class Simulation:
         return done
 
     # ------------------------------------------------------------------
+    def resume(self, path=None) -> bool:
+        """Restore from a checkpoint file (newest valid one by default).
+
+        Returns ``True`` when a checkpoint was restored.  Restoration is
+        bit-identical: particle arrays, clock, step counter, stepper
+        memory and the viscous-signal diagnostic all come back, and the
+        neighbour cache is invalidated so lists rebuild from the restored
+        positions.
+        """
+        from ..resilience.checkpoint import find_latest_checkpoint, read_checkpoint
+
+        if path is None:
+            if self.resilience is None:
+                raise ValueError("resume() without a path needs a ResilienceConfig")
+            path = find_latest_checkpoint(self.resilience.checkpoint_dir)
+            if path is None:
+                return False
+        read_checkpoint(path).restore_into(self)
+        return True
+
+    # ------------------------------------------------------------------
     @property
     def neighbor_cache_stats(self):
         """Verlet-cache counters, or ``None`` when the cache is disabled."""
         return self._ncache.stats if self._ncache is not None else None
+
+    @property
+    def supervisor_stats(self):
+        """Pool recovery counters, or ``None`` when unsupervised/serial."""
+        return self._engine.supervisor_stats if self._engine is not None else None
 
     def close(self) -> None:
         """Release pool workers and shared memory (no-op when serial)."""

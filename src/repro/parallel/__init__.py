@@ -7,11 +7,22 @@ Algorithm-1 phases (density, IAD, momentum/energy, gravity) over
 pair-balanced slices of the CSR neighbour list.  The slice decomposition
 preserves per-particle reduction order, so pool results match the serial
 path bit-for-bit — which the parity tests pin down to rtol = 1e-12.
+
+Fault tolerance (:mod:`repro.parallel.supervisor`): the pool runs under a
+supervisor by default — crashed workers are respawned, hung ones deadline
+out and their chunks re-issue, late replies are discarded by stamp, and
+when everything else fails the phase completes serially in the parent.
 """
 
 from .executor import ExecConfig, ParallelEngine
 from .pool import WorkerPool, parallel_map, row_chunks
 from .shm import ArenaView, ShmArena
+from .supervisor import (
+    RecoveryEvent,
+    SupervisedPool,
+    SupervisorConfig,
+    SupervisorStats,
+)
 
 __all__ = [
     "ExecConfig",
@@ -21,4 +32,8 @@ __all__ = [
     "row_chunks",
     "ArenaView",
     "ShmArena",
+    "SupervisedPool",
+    "SupervisorConfig",
+    "SupervisorStats",
+    "RecoveryEvent",
 ]

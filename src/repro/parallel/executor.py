@@ -22,9 +22,10 @@ orchestration time goes.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +41,7 @@ from ..tree.neighborlist import NeighborList
 from ..tree.octree import Octree
 from .pool import WorkerPool, parallel_map, register_task, row_chunks
 from .shm import ShmArena
+from .supervisor import SupervisedPool, SupervisorConfig, SupervisorStats
 
 __all__ = ["ExecConfig", "ParallelEngine"]
 
@@ -69,6 +71,23 @@ class ExecConfig:
         available, else ``spawn``.
     arena_capacity:
         Initial shared-memory arena size in bytes (grows on demand).
+    supervise:
+        Run the pool under the fault-tolerant
+        :class:`~repro.parallel.supervisor.SupervisedPool` (crash/hang
+        detection, chunk re-issue, serial degradation).  On by default —
+        the overhead on a healthy pool is one ``connection.wait`` per
+        reply.  ``False`` keeps PR-1's bare ``parallel_map``.
+    supervisor:
+        Deadline/retry policy; ``None`` uses
+        :class:`~repro.parallel.supervisor.SupervisorConfig` defaults.
+    verify_outputs:
+        Opt-in per-phase SDC pass: parent re-checksums every row-sliced
+        phase output against the worker's CRC and range-scans it, then
+        recomputes corrupted chunks serially (requires ``supervise``).
+    chaos:
+        Deterministic fault-injection policy
+        (:class:`~repro.resilience.chaos.ChaosPolicy`) consulted at task
+        submission; ``None`` (default) injects nothing.
     """
 
     workers: int = 0
@@ -77,6 +96,10 @@ class ExecConfig:
     cache_skin: float = 0.3
     start_method: Optional[str] = None
     arena_capacity: int = 1 << 24
+    supervise: bool = True
+    supervisor: Optional[SupervisorConfig] = None
+    verify_outputs: bool = False
+    chaos: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -87,6 +110,10 @@ class ExecConfig:
             )
         if not 0.0 < self.cache_skin < 1.0:
             raise ValueError(f"cache_skin must be in (0, 1), got {self.cache_skin}")
+        if (self.verify_outputs or self.chaos is not None) and not self.supervise:
+            raise ValueError(
+                "verify_outputs / chaos require supervise=True"
+            )
 
     @property
     def parallel_enabled(self) -> bool:
@@ -252,6 +279,23 @@ def _task_gravity(views, params, lo, hi):
     return {"n_p2p": result.n_p2p, "n_m2p": result.n_m2p}
 
 
+@register_task("probe")
+def _task_probe(views, params, lo, hi):
+    """Physics-free diagnostic task for supervisor/chaos tests.
+
+    Writes ``scale * row_index`` into rows ``[lo, hi)`` of ``params['out']``
+    (when given) after an optional sleep, and replies with the row count.
+    """
+    if params.get("sleep"):
+        time.sleep(float(params["sleep"]))
+    out = params.get("out")
+    if out is not None:
+        views.view(out)[lo:hi] = (
+            np.arange(lo, hi, dtype=np.float64) * float(params.get("scale", 1.0))
+        )
+    return {"rows": hi - lo}
+
+
 # ======================================================================
 # Parent-side engine
 # ======================================================================
@@ -281,17 +325,64 @@ class ParallelEngine:
         self.config = config
         self.tracer = tracer
         self.rank = rank
-        self._pool: Optional[WorkerPool] = None
+        self._pool: Optional[Union[WorkerPool, SupervisedPool]] = None
         self._arena: Optional[ShmArena] = None
+        self._step = 0
 
     # ------------------------------------------------------------------
-    def _ensure(self) -> Tuple[WorkerPool, ShmArena]:
+    def _ensure(self) -> Tuple[Union[WorkerPool, SupervisedPool], ShmArena]:
         if self._pool is None:
-            self._pool = WorkerPool(
-                self.config.workers, start_method=self.config.start_method
-            )
+            if self.config.supervise:
+                self._pool = SupervisedPool(
+                    self.config.workers,
+                    start_method=self.config.start_method,
+                    config=self.config.supervisor,
+                    chaos=self.config.chaos,
+                    tracer=self.tracer,
+                    rank=self.rank,
+                )
+                self._pool.step_index = self._step
+            else:
+                self._pool = WorkerPool(
+                    self.config.workers, start_method=self.config.start_method
+                )
             self._arena = ShmArena(self.config.arena_capacity)
         return self._pool, self._arena
+
+    def _map(
+        self,
+        kind: str,
+        chunks: Sequence[Tuple[int, int]],
+        params: dict,
+        *,
+        phase: str,
+        verify: Sequence[Tuple[str, bool]] = (),
+    ) -> List[Tuple[Tuple[int, int], Any]]:
+        """Fan out one task kind — supervised or bare, per the config."""
+        pool, arena = self._ensure()
+        if isinstance(pool, SupervisedPool):
+            return pool.map(
+                kind,
+                chunks,
+                arena.descriptor(),
+                params,
+                phase=phase,
+                verify=verify if self.config.verify_outputs else (),
+            )
+        return parallel_map(pool, kind, chunks, arena.descriptor(), params)
+
+    def set_step(self, step: int) -> None:
+        """Tell the supervisor the driver's step index (chaos matching)."""
+        if isinstance(self._pool, SupervisedPool):
+            self._pool.step_index = step
+        self._step = step
+
+    @property
+    def supervisor_stats(self) -> Optional[SupervisorStats]:
+        """Recovery counters/events, or ``None`` when unsupervised."""
+        if isinstance(self._pool, SupervisedPool):
+            return self._pool.stats
+        return None
 
     def _phase(self, letter: str, state: State):
         if self.tracer is None:
@@ -373,9 +464,15 @@ class ParallelEngine:
                 boot_params = dict(
                     params, volume_elements="standard", out="rho_boot"
                 )
-                parallel_map(pool, "density", chunks, arena.descriptor(), boot_params)
+                self._map(
+                    "density", chunks, boot_params,
+                    phase=phase, verify=(("rho_boot", True),),
+                )
                 params["rho_field"] = "rho_boot"
-            replies = parallel_map(pool, "density", chunks, arena.descriptor(), params)
+            replies = self._map(
+                "density", chunks, params,
+                phase=phase, verify=(("out_rho", True),),
+            )
         with self._phase(phase, State.REDUCE):
             del replies
             particles.rho[:] = out
@@ -401,7 +498,9 @@ class ParallelEngine:
             out = arena.alloc("out_c", (n, dim, dim), np.float64)
             chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
             params = {"kernel": kernel, "box": box}
-            parallel_map(pool, "iad", chunks, arena.descriptor(), params)
+            self._map(
+                "iad", chunks, params, phase=phase, verify=(("out_c", False),)
+            )
         with self._phase(phase, State.REDUCE):
             c = np.array(out, copy=True)
         return c
@@ -444,11 +543,18 @@ class ParallelEngine:
             base = {"kernel": kernel, "box": box}
             if grad_h:
                 arena.alloc("out_omega", (n,), np.float64)
-                parallel_map(pool, "gradh", chunks, arena.descriptor(), base)
+                self._map(
+                    "gradh", chunks, base,
+                    phase=phase, verify=(("out_omega", True),),
+                )
             if viscosity.use_balsara:
                 div = arena.alloc("out_div", (n,), np.float64)
                 curl = arena.alloc("out_curl", (n,), np.float64)
-                parallel_map(pool, "divcurl", chunks, arena.descriptor(), base)
+                self._map(
+                    "divcurl", chunks, base,
+                    phase=phase,
+                    verify=(("out_div", False), ("out_curl", False)),
+                )
                 f = balsara_switch(div, curl, particles.cs, particles.h)
                 arena.publish("balsara_f", f)
             out_a = arena.alloc("out_a", (n, dim), np.float64)
@@ -460,7 +566,11 @@ class ParallelEngine:
                 grad_h=grad_h,
                 use_balsara=viscosity.use_balsara,
             )
-            replies = parallel_map(pool, "forces", chunks, arena.descriptor(), params)
+            replies = self._map(
+                "forces", chunks, params,
+                phase=phase,
+                verify=(("out_a", False), ("out_du", False)),
+            )
         with self._phase(phase, State.REDUCE):
             max_mu = max((data["max_mu"] for _, data in replies), default=0.0)
             particles.a[:] = out_a
@@ -539,7 +649,9 @@ class ParallelEngine:
                 "has_m3": moments.m3 is not None,
                 "has_m4": moments.m4 is not None,
             }
-            replies = parallel_map(pool, "gravity", chunks, arena.descriptor(), params)
+            # Gravity chunks index *leaves* and workers scatter-write
+            # particle rows, so slice CRCs don't apply — no verify pass.
+            replies = self._map("gravity", chunks, params, phase=phase)
         with self._phase(phase, State.REDUCE):
             acc = np.array(out_acc, copy=True)
             phi = np.array(out_phi, copy=True)

@@ -9,14 +9,24 @@ fields at their disjoint row slice, and reply with scalars only.
 
 ``parallel_map`` is the one fan-out primitive: split the query rows into
 chunks (pair-balanced when CSR offsets are given), round-robin the chunks
-over the workers, then gather replies in submission order.
+over the workers, then gather replies in submission order.  Fault
+tolerance lives one layer up, in
+:class:`~repro.parallel.supervisor.SupervisedPool`; this module supplies
+the hooks it needs: a ``stamp`` echoed verbatim in every reply (so late
+replies from presumed-dead workers are identifiable), per-slot
+:meth:`WorkerPool.respawn`, and deterministic worker-side fault injection
+driven by an optional ``chaos`` entry in the task dict (see
+:mod:`repro.resilience.chaos`).
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
+import time
 import traceback
+import zlib
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +49,15 @@ def register_task(kind: str):
     return _register
 
 
+def _flip_output_bit(views, field: str, lo: int, hi: int, index: int, bit: int) -> None:
+    """Chaos SDC injection: flip one bit inside an output row slice."""
+    flat = views.view(field)[lo:hi].reshape(-1)
+    if flat.size == 0:
+        return
+    cell = flat[index % flat.size : index % flat.size + 1].view(np.uint64)
+    cell ^= np.uint64(1) << np.uint64(bit % 64)
+
+
 def _worker_main(conn) -> None:
     """Worker loop: recv task, execute handler, reply; ``None`` stops."""
     # Handlers live in repro.parallel.executor; import inside the worker so
@@ -53,13 +72,43 @@ def _worker_main(conn) -> None:
             break
         if task is None:
             break
+        chaos = task.get("chaos") or {}
+        if chaos.get("kill"):
+            # Injected fail-stop: die before doing any work; the reply is
+            # lost and the supervisor must detect and re-issue.
+            os._exit(1)
+        reply: Dict[str, Any]
         try:
             views.refresh(task["arena"])
             handler = TASK_HANDLERS[task["kind"]]
             data = handler(views, task["params"], task["lo"], task["hi"])
-            conn.send({"ok": True, "data": data})
+            reply = {"ok": True, "data": data}
+            if task.get("verify"):
+                # CRC the output slices *after* computing so the parent can
+                # detect corruption between this write and its read.
+                reply["crc"] = {
+                    name: zlib.crc32(
+                        np.ascontiguousarray(
+                            views.view(name)[task["lo"] : task["hi"]]
+                        ).tobytes()
+                    )
+                    for name in task["verify"]
+                }
+            for field, index, bit in chaos.get("flip", ()):
+                # Injected SDC: corrupt the shared-memory output *after*
+                # the checksum was taken (models a torn/late write).
+                _flip_output_bit(views, field, task["lo"], task["hi"], index, bit)
         except Exception:
-            conn.send({"ok": False, "error": traceback.format_exc()})
+            reply = {"ok": False, "error": traceback.format_exc()}
+        if "stamp" in task:
+            reply["stamp"] = task["stamp"]
+        if chaos.get("delay"):
+            # Injected hang: reply eventually, but well past any deadline.
+            time.sleep(float(chaos["delay"]))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # parent gave up on us
+            break
     views.close()
     conn.close()
 
@@ -73,21 +122,24 @@ class WorkerPool:
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
-        ctx = multiprocessing.get_context(start_method)
+        self._ctx = multiprocessing.get_context(start_method)
         self.n_workers = n_workers
-        self._conns = []
-        self._procs = []
-        for _ in range(n_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._conns: List[Any] = [None] * n_workers
+        self._procs: List[Any] = [None] * n_workers
+        for worker in range(n_workers):
+            self._spawn(worker)
         self._closed = False
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
+    def _spawn(self, worker: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        proc.start()
+        child_conn.close()
+        self._conns[worker] = parent_conn
+        self._procs[worker] = proc
+
     def submit(self, worker: int, task: dict) -> None:
         self._conns[worker].send(task)
 
@@ -99,21 +151,103 @@ class WorkerPool:
             )
         return reply["data"]
 
+    # ------------------------------------------------------------------
+    # Liveness interface for the supervisor
+    # ------------------------------------------------------------------
+    def connection(self, worker: int):
+        """Parent end of the worker's pipe (for ``connection.wait``)."""
+        return self._conns[worker]
+
+    def sentinel(self, worker: int) -> int:
+        """Process sentinel: readable when the worker has exited."""
+        return self._procs[worker].sentinel
+
+    def is_alive(self, worker: int) -> bool:
+        return self._procs[worker].is_alive()
+
+    def respawn(self, worker: int) -> None:
+        """Replace a dead or hung worker with a fresh process.
+
+        The old slot is torn down unconditionally (terminate → kill), so a
+        presumed-dead worker can never write into a future arena cycle.
+        """
+        proc, conn = self._procs[worker], self._conns[worker]
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - terminate ignored
+            proc.kill()
+            proc.join(timeout=5.0)
+        try:
+            proc.close()
+        except ValueError:  # pragma: no cover - still running somehow
+            pass
+        self._spawn(worker)
+
+    def terminate_worker(self, worker: int) -> None:
+        """Kill one worker without replacement (degraded operation)."""
+        proc, conn = self._procs[worker], self._conns[worker]
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        try:
+            proc.close()
+        except ValueError:  # pragma: no cover
+            pass
+        self._procs[worker] = None
+        self._conns[worker] = None
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
+        """Idempotent shutdown: drain, join with timeout, then terminate.
+
+        Unregisters the ``atexit`` hook on the first explicit call so a
+        closed pool leaves no dangling interpreter-exit callback, and
+        reaps every child (``Process.close``) so ``-W error`` runs see no
+        resource warnings.
+        """
         if self._closed:
             return
         self._closed = True
+        atexit.unregister(self.close)
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
+        deadline = time.monotonic() + 5.0
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            if proc is None:
+                continue
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
+        for proc in self._procs:
+            if proc is None:
+                continue
+            if proc.is_alive():  # pragma: no cover - reap the terminated
+                proc.join(timeout=1.0)
+            try:
+                proc.close()
+            except ValueError:  # pragma: no cover
+                pass
         for conn in self._conns:
-            conn.close()
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
 
     def __enter__(self) -> "WorkerPool":
         return self

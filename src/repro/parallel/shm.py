@@ -18,12 +18,27 @@ change in the descriptor and re-attach.
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from multiprocessing import shared_memory
 from typing import Dict, Tuple
 
 import numpy as np
 
 __all__ = ["ShmArena", "ArenaView", "attach_shared_memory"]
+
+#: Parent-side arenas not yet closed; swept at interpreter exit so an
+#: abandoned arena never leaks its /dev/shm segment past the process.
+_LIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+
+@atexit.register
+def _sweep_leaked_arenas() -> None:  # pragma: no cover - exit-time safety net
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.close()
+        except Exception:
+            pass
 
 #: descriptor entry: (byte offset, shape, dtype string)
 FieldSpec = Tuple[int, Tuple[int, ...], str]
@@ -63,6 +78,8 @@ class ShmArena:
         self.fields: Dict[str, FieldSpec] = {}
         self._cursor = 0
         self.generation = 0
+        self._closed = False
+        _LIVE_ARENAS.add(self)
 
     # ------------------------------------------------------------------
     @property
@@ -136,6 +153,10 @@ class ShmArena:
         }
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_ARENAS.discard(self)
         try:
             self.shm.close()
         except BufferError:  # outstanding numpy views; mapping dies with us

@@ -27,6 +27,8 @@ __all__ = [
     "PopMetrics",
     "compute_pop_metrics",
     "pool_overhead",
+    "recovery_overhead",
+    "recovery_report",
     "neighbor_cache_report",
 ]
 
@@ -114,6 +116,39 @@ def pool_overhead(tracer: Tracer, rank: int | None = None) -> dict[str, float]:
         out["reduce"] += tracer.time_in_state(r, State.REDUCE)
         out["useful"] += tracer.time_in_state(r, State.USEFUL)
     return out
+
+
+def recovery_overhead(tracer: Tracer, rank: int | None = None) -> dict[str, float]:
+    """Fault-recovery cost recorded by the supervised pool.
+
+    ``recovery`` aggregates the ``State.RECOVERY`` intervals the
+    supervisor records around worker respawns; ``fraction`` relates it to
+    the trace runtime, so resilience benchmarks can quote the price of
+    surviving the injected faults.
+    """
+    ranks = tracer.ranks if rank is None else [rank]
+    recovery = sum(tracer.time_in_state(r, State.RECOVERY) for r in ranks)
+    runtime = tracer.runtime()
+    return {
+        "recovery": recovery,
+        "runtime": runtime,
+        "fraction": recovery / runtime if runtime > 0 else 0.0,
+    }
+
+
+def recovery_report(stats) -> str:
+    """One-line report of a supervised run's fault handling.
+
+    ``stats`` is a :class:`~repro.parallel.supervisor.SupervisorStats`
+    (duck-typed so profiling does not import the parallel package).
+    """
+    return (
+        f"recovery: crashes={stats.crashes} hangs={stats.hangs} "
+        f"respawns={stats.respawns} reissues={stats.reissues} "
+        f"late-discarded={stats.late_replies_discarded} "
+        f"serial-fallbacks={stats.serial_fallbacks} "
+        f"sdc={stats.sdc_detected} degraded={stats.degraded}"
+    )
 
 
 def neighbor_cache_report(stats) -> str:

@@ -29,6 +29,7 @@ STATE_CHARS: Dict[State, str] = {
     State.IDLE: ".",
     State.FAN_OUT: "F",
     State.REDUCE: "R",
+    State.RECOVERY: "!",
 }
 
 

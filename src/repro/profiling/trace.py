@@ -27,6 +27,8 @@ class State(Enum):
     ``FAN_OUT`` and ``REDUCE`` extend the legend for the shared-memory
     process pool (:mod:`repro.parallel`): publishing state to the workers
     / dispatching tasks, and waiting for + merging their partial results.
+    ``RECOVERY`` marks fault-tolerance work — respawning crashed workers
+    and re-issuing lost chunks (:mod:`repro.parallel.supervisor`).
     """
 
     USEFUL = "useful"  # blue: computing phases
@@ -36,6 +38,7 @@ class State(Enum):
     IDLE = "idle"  # black: idle threads
     FAN_OUT = "pool-fan-out"  # pool: publish shared arrays + dispatch tasks
     REDUCE = "pool-reduce"  # pool: await workers + merge partial results
+    RECOVERY = "recovery"  # supervisor: respawn workers, re-issue lost work
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,11 @@ checkpoint intervals (Young/Daly and the Di et al. style decomposition),
 fail-stop and bit-flip failure injection, silent-data-corruption
 detectors (checksum / range / ABFT conservation ledger) and selective
 replication.
+
+Driver integration: :class:`ResilienceConfig` + :class:`CheckpointManager`
+write atomic rolling checkpoints from the real step loop (auto-K via
+Young's formula), and :mod:`repro.resilience.chaos` injects deterministic
+fail-stop / hang / SDC faults into the supervised worker pool.
 """
 
 from .abft import (
@@ -13,9 +18,13 @@ from .abft import (
     checksummed_reduce,
     pairwise_antisymmetry_check,
 )
+from .chaos import ChaosEvent, ChaosPolicy, random_policy
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
+    CheckpointManager,
+    ResilienceConfig,
+    find_latest_checkpoint,
     read_checkpoint,
     write_checkpoint,
 )
@@ -51,8 +60,14 @@ __all__ = [
     "pairwise_antisymmetry_check",
     "Checkpoint",
     "CheckpointError",
+    "CheckpointManager",
+    "ResilienceConfig",
     "write_checkpoint",
     "read_checkpoint",
+    "find_latest_checkpoint",
+    "ChaosEvent",
+    "ChaosPolicy",
+    "random_policy",
     "young_interval",
     "daly_interval",
     "expected_waste",

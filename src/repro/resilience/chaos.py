@@ -1,0 +1,169 @@
+"""Deterministic, seeded fault injection for the supervised pool.
+
+The paper's resilience pillar (Section 4, Tables 3–4) demands that the
+mini-app *demonstrate* fault tolerance, not merely implement it.  This
+module is the demonstration harness: a :class:`ChaosPolicy` is a list of
+:class:`ChaosEvent` triggers — kill worker ``n`` at phase ``p`` of step
+``s``, delay a reply past its deadline, flip a bit in an arena output
+slice — matched at task-submission time by
+:class:`~repro.parallel.supervisor.SupervisedPool` and shipped to the
+worker inside the task dict (see ``_worker_main`` in
+:mod:`repro.parallel.pool`).
+
+Every event fires **once**: a kill directive consumed by worker 2 does
+not re-fire when the lost chunk is re-issued to worker 0, so an injected
+fail-stop is recoverable by construction and a test that injects ``k``
+faults observes exactly ``k``.  Policies are plain data + a fired bitmap;
+:func:`random_policy` derives a reproducible event list from a seed.
+
+The injections map onto the standard fault taxonomy:
+
+========  ====================  =========================================
+action    models                detected by
+========  ====================  =========================================
+kill      fail-stop crash       ``Process.sentinel`` (supervisor)
+delay     hang / slow node      EWMA deadline (supervisor)
+flip      silent data           per-phase CRC + range scan
+          corruption (SDC)      (``verify_outputs=True``)
+========  ====================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ChaosEvent", "ChaosPolicy", "random_policy"]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault trigger.
+
+    Parameters
+    ----------
+    step:
+        Driver step index at which to fire (matched exactly).
+    phase:
+        Algorithm-1 phase letter (``"D"``, ``"E"``, ``"G"``, ``"I"``) or
+        ``"*"`` for any phase.
+    action:
+        ``"kill"`` (fail-stop before any work), ``"delay"`` (sleep
+        ``delay`` seconds before sending the reply) or ``"flip"`` (XOR
+        bit ``bit`` of flattened element ``index`` in the chunk's slice
+        of output ``field``, *after* the worker checksummed it).
+    worker:
+        Pool slot to target, or ``None`` for any worker.
+    chunk:
+        Chunk index within the fan-out, or ``None`` for any chunk.
+    """
+
+    step: int
+    phase: str
+    action: str
+    worker: Optional[int] = None
+    chunk: Optional[int] = None
+    delay: float = 0.0
+    field: str = ""
+    index: int = 0
+    bit: int = 62
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "delay", "flip"):
+            raise ValueError(f"unknown chaos action {self.action!r}")
+        if self.action == "delay" and self.delay <= 0.0:
+            raise ValueError("delay events need delay > 0")
+        if self.action == "flip" and not self.field:
+            raise ValueError("flip events need a target field")
+
+    def matches(self, step: int, phase: str, worker: int, chunk: int) -> bool:
+        return (
+            self.step == step
+            and self.phase in ("*", phase)
+            and (self.worker is None or self.worker == worker)
+            and (self.chunk is None or self.chunk == chunk)
+        )
+
+
+class ChaosPolicy:
+    """Fire-once event list consulted by the supervisor at submit time."""
+
+    def __init__(self, events: Sequence[ChaosEvent]) -> None:
+        self.events: List[ChaosEvent] = list(events)
+        self._fired = [False] * len(self.events)
+
+    # ------------------------------------------------------------------
+    @property
+    def fired(self) -> int:
+        """How many events have been consumed so far."""
+        return sum(self._fired)
+
+    @property
+    def exhausted(self) -> bool:
+        return all(self._fired)
+
+    def reset(self) -> None:
+        """Re-arm every event (fresh run with the same script)."""
+        self._fired = [False] * len(self.events)
+
+    # ------------------------------------------------------------------
+    def directives(
+        self, *, step: int, phase: str, worker: int, chunk: int
+    ) -> Optional[Dict]:
+        """Directives for one task submission, or ``None``.
+
+        Each matching event is marked fired immediately, so a directive
+        lost with a killed worker is *not* re-injected on re-issue.
+        """
+        out: Dict = {}
+        for i, ev in enumerate(self.events):
+            if self._fired[i] or not ev.matches(step, phase, worker, chunk):
+                continue
+            self._fired[i] = True
+            if ev.action == "kill":
+                out["kill"] = True
+            elif ev.action == "delay":
+                out["delay"] = max(float(out.get("delay", 0.0)), ev.delay)
+            elif ev.action == "flip":
+                out.setdefault("flip", []).append((ev.field, ev.index, ev.bit))
+        return out or None
+
+
+_FLIP_FIELDS = {
+    "D": "out_c",
+    "E": "out_rho",
+    "G": "out_a",
+}
+
+
+def random_policy(
+    seed: int,
+    *,
+    n_steps: int,
+    n_workers: int,
+    n_events: int = 3,
+    phases: Sequence[str] = ("D", "E", "G"),
+    actions: Sequence[str] = ("kill", "delay", "flip"),
+    delay: float = 5.0,
+) -> ChaosPolicy:
+    """Reproducible random fault script (same seed → same events)."""
+    rng = np.random.default_rng(seed)
+    events: List[ChaosEvent] = []
+    for _ in range(n_events):
+        phase = str(rng.choice(list(phases)))
+        action = str(rng.choice(list(actions)))
+        events.append(
+            ChaosEvent(
+                step=int(rng.integers(n_steps)),
+                phase=phase,
+                action=action,
+                worker=int(rng.integers(n_workers)),
+                delay=delay if action == "delay" else 0.0,
+                field=_FLIP_FIELDS.get(phase, "out_rho") if action == "flip" else "",
+                index=int(rng.integers(1 << 16)),
+                bit=int(rng.integers(64)),
+            )
+        )
+    return ChaosPolicy(events)

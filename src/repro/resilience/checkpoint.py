@@ -7,22 +7,48 @@ step index, stepper memory); restart reconstructs a bit-identical
 simulation.  Checkpoints carry CRC32 integrity sums per array so a
 corrupted file is detected at restore time rather than silently resuming
 from garbage.
+
+Writes are atomic — the file is assembled under a ``*.tmp`` name, fsynced
+and ``os.replace``d into place, and a ``latest`` pointer file (updated
+the same way) names the newest complete checkpoint — so a crash at any
+instant leaves either the previous consistent pair or the new one, never
+a torn file that autoresume would trip over.
+
+:class:`CheckpointManager` drives rolling checkpoints from the step loop:
+``checkpoint_every=K`` writes every K steps and keeps the newest ``keep``
+files; ``checkpoint_every=0`` self-tunes K with Young's formula from the
+measured checkpoint cost, the per-step wall-time EWMA and the configured
+MTBF (:mod:`repro.resilience.interval` applied to real I/O, not the
+simulator).
 """
 
 from __future__ import annotations
 
 import io
 import json
+import os
+import re
+import time as _time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core.particles import ParticleSystem
+from ..tree.neighborlist import NeighborList
+from .interval import young_interval
 
-__all__ = ["Checkpoint", "CheckpointError", "write_checkpoint", "read_checkpoint"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "write_checkpoint",
+    "read_checkpoint",
+    "find_latest_checkpoint",
+    "ResilienceConfig",
+    "CheckpointManager",
+]
 
 _MAGIC = "sph-exa-repro-checkpoint"
 _VERSION = 1
@@ -34,12 +60,18 @@ class CheckpointError(RuntimeError):
 
 @dataclass
 class Checkpoint:
-    """In-memory checkpoint: particle arrays + scalar driver state."""
+    """In-memory checkpoint: particle arrays + scalar driver state.
+
+    ``extras`` holds auxiliary arrays that are not particle state but are
+    needed for bit-identical resumption — currently the Verlet cache's
+    CSR neighbour list and its reference positions/smoothing lengths.
+    """
 
     particles: ParticleSystem
     time: float
     step_index: int
     meta: Dict[str, float]
+    extras: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @classmethod
     def capture(
@@ -48,6 +80,7 @@ class Checkpoint:
         time: float,
         step_index: int,
         meta: Optional[Dict[str, float]] = None,
+        extras: Optional[Dict[str, np.ndarray]] = None,
     ) -> "Checkpoint":
         """Deep-copy the state (the simulation may keep running)."""
         return cls(
@@ -55,6 +88,7 @@ class Checkpoint:
             time=float(time),
             step_index=int(step_index),
             meta=dict(meta or {}),
+            extras={k: np.array(v, copy=True) for k, v in (extras or {}).items()},
         )
 
     @classmethod
@@ -75,7 +109,21 @@ class Checkpoint:
         dt_prev = getattr(sim.stepper, "_dt_prev", None)
         if dt_prev is not None:
             meta["dt_prev"] = dt_prev
-        return cls.capture(sim.particles, sim.time, sim.step_index, meta=meta)
+        extras: Dict[str, np.ndarray] = {}
+        ncache = getattr(sim, "_ncache", None)
+        if ncache is not None and ncache._nlist is not None:
+            # The Verlet cache is not bitwise-neutral (the padded list's
+            # reuse schedule shifts summation roundoff), so bit-identical
+            # resumption must replay the *exact* cached list and the
+            # reference state its validity is judged against.
+            meta["ncache_skin"] = ncache.skin
+            extras["ncache_offsets"] = ncache._nlist.offsets
+            extras["ncache_indices"] = ncache._nlist.indices
+            extras["ncache_x_ref"] = ncache._x_ref
+            extras["ncache_h_ref"] = ncache._h_ref
+        return cls.capture(
+            sim.particles, sim.time, sim.step_index, meta=meta, extras=extras
+        )
 
     def restore_into(self, sim) -> None:
         """Restore a driver in place (state arrays, clock, counters).
@@ -94,6 +142,29 @@ class Checkpoint:
             sim.stepper._dt_prev = float(self.meta["dt_prev"])
         sim._nlist = None
         sim._rates_current = True
+        ncache = getattr(sim, "_ncache", None)
+        if ncache is None:
+            return
+        cache_keys = {
+            "ncache_offsets", "ncache_indices", "ncache_x_ref", "ncache_h_ref"
+        }
+        if (
+            cache_keys <= self.extras.keys()
+            and float(self.meta.get("ncache_skin", -1.0)) == ncache.skin
+        ):
+            # Reinstate the checkpointed list and its reference state, so
+            # the resumed run replays the original reuse schedule exactly.
+            # Bypasses store() to copy without counting a fresh build.
+            ncache._nlist = NeighborList(
+                self.extras["ncache_offsets"].copy(),
+                self.extras["ncache_indices"].copy(),
+            )
+            ncache._x_ref = self.extras["ncache_x_ref"].copy()
+            ncache._h_ref = self.extras["ncache_h_ref"].copy()
+        else:
+            # No (compatible) cache state in the file: the cache holds
+            # lists for the pre-restore positions and must rebuild.
+            ncache.invalidate()
 
 
 def write_checkpoint(path: str | Path, cp: Checkpoint) -> int:
@@ -107,26 +178,40 @@ def write_checkpoint(path: str | Path, cp: Checkpoint) -> int:
         "step_index": cp.step_index,
         "meta": cp.meta,
         "arrays": {},
+        "extras": {},
     }
     buf = io.BytesIO()
-    for name, arr in arrays.items():
-        data = np.ascontiguousarray(arr)
-        raw = data.tobytes()
-        header["arrays"][name] = {
-            "dtype": str(data.dtype),
-            "shape": list(data.shape),
-            "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
-            "offset": buf.tell(),
-            "nbytes": len(raw),
-        }
-        buf.write(raw)
+    for section, table in (("arrays", arrays), ("extras", cp.extras)):
+        for name, arr in table.items():
+            data = np.ascontiguousarray(arr)
+            raw = data.tobytes()
+            header[section][name] = {
+                "dtype": str(data.dtype),
+                "shape": list(data.shape),
+                "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
+                "offset": buf.tell(),
+                "nbytes": len(raw),
+            }
+            buf.write(raw)
     payload = buf.getvalue()
     head = json.dumps(header).encode()
-    with open(path, "wb") as f:
-        f.write(len(head).to_bytes(8, "little"))
-        f.write(head)
-        f.write(payload)
+    _atomic_write(path, [len(head).to_bytes(8, "little"), head, payload])
     return 8 + len(head) + len(payload)
+
+
+def _atomic_write(path: Path, parts: List[bytes]) -> None:
+    """Crash-safe file replacement: ``*.tmp`` + fsync + ``os.replace``.
+
+    A crash mid-write leaves only the tmp file; the destination is either
+    absent, the previous complete version, or the new complete version.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        for part in parts:
+            f.write(part)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
 
 
 def read_checkpoint(path: str | Path) -> Checkpoint:
@@ -152,20 +237,177 @@ def read_checkpoint(path: str | Path) -> Checkpoint:
                 f"unsupported checkpoint version {header.get('version')}"
             )
         payload = f.read()
-    arrays: Dict[str, np.ndarray] = {}
-    for name, spec in header["arrays"].items():
-        raw = payload[spec["offset"] : spec["offset"] + spec["nbytes"]]
-        if len(raw) != spec["nbytes"]:
-            raise CheckpointError(f"truncated checkpoint: array {name!r}")
-        if (zlib.crc32(raw) & 0xFFFFFFFF) != spec["crc32"]:
-            raise CheckpointError(f"CRC mismatch in array {name!r}")
-        arrays[name] = np.frombuffer(raw, dtype=np.dtype(spec["dtype"])).reshape(
-            spec["shape"]
-        ).copy()
-    particles = ParticleSystem.from_dict(arrays)
+    def _decode(section: Dict[str, dict]) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for name, spec in section.items():
+            raw = payload[spec["offset"] : spec["offset"] + spec["nbytes"]]
+            if len(raw) != spec["nbytes"]:
+                raise CheckpointError(f"truncated checkpoint: array {name!r}")
+            if (zlib.crc32(raw) & 0xFFFFFFFF) != spec["crc32"]:
+                raise CheckpointError(f"CRC mismatch in array {name!r}")
+            out[name] = np.frombuffer(raw, dtype=np.dtype(spec["dtype"])).reshape(
+                spec["shape"]
+            ).copy()
+        return out
+
+    particles = ParticleSystem.from_dict(_decode(header["arrays"]))
     return Checkpoint(
         particles=particles,
         time=float(header["time"]),
         step_index=int(header["step_index"]),
         meta=dict(header["meta"]),
+        extras=_decode(header.get("extras", {})),
     )
+
+
+# ======================================================================
+# Rolling-checkpoint management for the driver loop
+# ======================================================================
+_CKPT_RE = re.compile(r"^ckpt_(\d{8})\.ckpt$")
+_LATEST = "latest"
+
+
+def _checkpoint_name(step_index: int) -> str:
+    return f"ckpt_{step_index:08d}.ckpt"
+
+
+def find_latest_checkpoint(directory: str | Path) -> Optional[Path]:
+    """Newest *valid* checkpoint in ``directory``, or ``None``.
+
+    The ``latest`` pointer file is tried first; if it is missing, stale,
+    or names a torn file, every ``ckpt_*.ckpt`` is probed newest-first
+    (full CRC read), so autoresume survives a crash at any point of the
+    write/prune sequence.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates: List[Path] = []
+    pointer = directory / _LATEST
+    if pointer.is_file():
+        try:
+            named = directory / pointer.read_text().strip()
+        except OSError:  # pragma: no cover - unreadable pointer
+            named = None
+        if named is not None and named.is_file():
+            candidates.append(named)
+    rolling = [p for p in directory.iterdir() if _CKPT_RE.match(p.name)]
+    rolling.sort(key=lambda p: p.name, reverse=True)
+    candidates.extend(p for p in rolling if p not in candidates)
+    for path in candidates:
+        try:
+            read_checkpoint(path)
+        except CheckpointError:
+            continue
+        return path
+    return None
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Checkpoint/restart policy for :class:`~repro.core.simulation.Simulation`.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Directory for rolling checkpoints (created on first write).
+    checkpoint_every:
+        Steps between checkpoints; ``0`` self-tunes via Young's formula
+        from the measured checkpoint cost, the step-time EWMA and
+        ``mtbf``.
+    keep:
+        Rolling window: older checkpoints beyond the newest ``keep`` are
+        pruned after each successful write.
+    autoresume:
+        Make ``Simulation.run()`` restore the newest valid checkpoint
+        (when one exists) before stepping.
+    mtbf:
+        Assumed mean time between failures in seconds (auto mode only).
+    """
+
+    checkpoint_dir: str = "checkpoints"
+    checkpoint_every: int = 10
+    keep: int = 2
+    autoresume: bool = True
+    mtbf: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 = auto)")
+        if self.keep < 1:
+            raise ValueError("keep must be >= 1")
+        if self.mtbf <= 0.0:
+            raise ValueError("mtbf must be positive")
+
+
+@dataclass
+class CheckpointManager:
+    """Writes rolling, atomic checkpoints from the step loop.
+
+    ``after_step(sim)`` is called once per completed step; it decides
+    (fixed K or Young auto-K), captures, writes atomically, repoints
+    ``latest`` and prunes.  Write cost and per-step wall time are
+    measured on the fly so auto mode needs no calibration run.
+    """
+
+    config: ResilienceConfig
+    steps_since: int = 0
+    checkpoints_written: int = 0
+    last_write_seconds: float = 0.0
+    last_path: Optional[Path] = None
+    _step_ewma: Optional[float] = field(default=None, repr=False)
+    _last_step_end: Optional[float] = field(default=None, repr=False)
+
+    @property
+    def directory(self) -> Path:
+        return Path(self.config.checkpoint_dir)
+
+    # ------------------------------------------------------------------
+    def interval_steps(self) -> int:
+        """Current checkpoint interval in steps (fixed or Young auto)."""
+        if self.config.checkpoint_every:
+            return self.config.checkpoint_every
+        if not self.last_write_seconds or not self._step_ewma:
+            return 1  # bootstrap: checkpoint immediately to measure cost
+        w_seconds = young_interval(self.last_write_seconds, self.config.mtbf)
+        return max(1, round(w_seconds / self._step_ewma))
+
+    def after_step(self, sim) -> Optional[Path]:
+        """Account one finished step; maybe checkpoint.  Returns the path."""
+        now = _time.perf_counter()
+        if self._last_step_end is not None:
+            dt = now - self._last_step_end
+            self._step_ewma = (
+                dt if self._step_ewma is None else 0.7 * self._step_ewma + 0.3 * dt
+            )
+        self._last_step_end = now
+        self.steps_since += 1
+        if self.steps_since < self.interval_steps():
+            return None
+        return self.checkpoint(sim)
+
+    def checkpoint(self, sim) -> Path:
+        """Unconditional checkpoint of the driver's current state."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / _checkpoint_name(sim.step_index)
+        start = _time.perf_counter()
+        write_checkpoint(path, Checkpoint.of_simulation(sim))
+        _atomic_write(self.directory / _LATEST, [path.name.encode()])
+        self.last_write_seconds = _time.perf_counter() - start
+        self._last_step_end = _time.perf_counter()  # exclude ckpt from step EWMA
+        self.last_path = path
+        self.checkpoints_written += 1
+        self.steps_since = 0
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        rolling = sorted(
+            (p for p in self.directory.iterdir() if _CKPT_RE.match(p.name)),
+            key=lambda p: p.name,
+        )
+        for stale in rolling[: -self.config.keep]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass

@@ -34,7 +34,33 @@ __all__ = [
     "RangeDetector",
     "ConservationDetector",
     "SdcMonitor",
+    "scan_phase_output",
 ]
+
+
+def scan_phase_output(
+    name: str,
+    array: np.ndarray,
+    *,
+    positive: bool = False,
+    ceiling: float = 1e30,
+) -> List[str]:
+    """Plausibility scan of one phase-output slice (supervisor SDC pass).
+
+    The per-particle analogue of :class:`RangeDetector`, applied to raw
+    kernel outputs (density, IAD matrices, accelerations, energy rates)
+    right after a pool fan-out: values must be finite, below an absolute
+    ceiling no healthy SPH quantity approaches, and — for densities and
+    grad-h factors — strictly positive.  Returns findings (empty = clean).
+    """
+    findings: List[str] = []
+    if not np.all(np.isfinite(array)):
+        findings.append(f"non-finite values in phase output {name!r}")
+    elif np.any(np.abs(array) > ceiling):
+        findings.append(f"phase output {name!r} exceeds plausibility ceiling")
+    elif positive and np.any(array <= 0.0):
+        findings.append(f"non-positive values in phase output {name!r}")
+    return findings
 
 
 class ChecksumDetector:

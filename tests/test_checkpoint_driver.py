@@ -1,0 +1,211 @@
+"""Checkpoint/restart wired into the real driver loop.
+
+The satellite acceptance: run 10 steps with a rolling checkpoint at 5,
+abandon the run at 7, autoresume in a fresh driver and finish — the
+final positions/velocities and dt sequence must be bit-identical to an
+uninterrupted 10-step run, for square patch + Evrard, neighbour cache on
+and off.  Plus the file-level guarantees: atomic writes (no ``*.tmp``
+residue), ``latest`` pointer, torn-file fallback, pruning and Young
+auto-K.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.ics.evrard import EvrardConfig, make_evrard
+from repro.ics.square_patch import SquarePatchConfig, make_square_patch
+from repro.parallel import ExecConfig
+from repro.resilience import (
+    CheckpointManager,
+    ResilienceConfig,
+    find_latest_checkpoint,
+    read_checkpoint,
+)
+from repro.timestepping.steppers import TimestepParams
+
+FIELDS = ("x", "v", "rho", "u", "p", "a", "du")
+TS = TimestepParams(use_energy_criterion=False)
+
+
+def _square_case():
+    particles, box, eos = make_square_patch(SquarePatchConfig(side=10, layers=10))
+    config = SimulationConfig().with_(n_neighbors=30, timestep_params=TS)
+    return particles, box, eos, config
+
+
+def _evrard_case():
+    particles, box, eos = make_evrard(EvrardConfig(n_target=1000))
+    config = SimulationConfig().with_(
+        n_neighbors=30, gravity="quadrupole", timestep_params=TS
+    )
+    return particles, box, eos, config
+
+
+CASES = {"square-patch": _square_case, "evrard": _evrard_case}
+
+
+def _sim(case: str, cache: bool, resilience=None) -> Simulation:
+    particles, box, eos, config = CASES[case]()
+    exec_config = ExecConfig(neighbor_cache=True) if cache else None
+    return Simulation(
+        particles, box, eos, config=config,
+        exec_config=exec_config, resilience=resilience,
+    )
+
+
+def _final_state(sim: Simulation):
+    return {f: getattr(sim.particles, f).copy() for f in FIELDS}
+
+
+_reference: dict = {}
+
+
+def _uninterrupted(case: str, cache: bool):
+    key = (case, cache)
+    if key not in _reference:
+        with _sim(case, cache) as sim:
+            sim.run(n_steps=10)
+            _reference[key] = (_final_state(sim), [s.dt for s in sim.history])
+    return _reference[key]
+
+
+@pytest.mark.parametrize("cache", [False, True], ids=["cache-off", "cache-on"])
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_resume_is_bit_identical_to_uninterrupted_run(case, cache, tmp_path):
+    ref_state, ref_dts = _uninterrupted(case, cache)
+    res = ResilienceConfig(
+        checkpoint_dir=str(tmp_path), checkpoint_every=5, keep=2, autoresume=True
+    )
+    # Interrupted run: 7 of 10 steps, rolling checkpoint lands at step 5.
+    with _sim(case, cache, resilience=res) as interrupted:
+        interrupted.run(n_steps=7)
+    latest = find_latest_checkpoint(tmp_path)
+    assert latest is not None and latest.name == "ckpt_00000005.ckpt"
+    # Fresh driver autoresumes from step 5 and finishes the remaining 5.
+    with _sim(case, cache, resilience=res) as resumed:
+        resumed.run(n_steps=5)
+        assert resumed.step_index == 10
+        state = _final_state(resumed)
+        dts = [s.dt for s in resumed.history]
+    for f in FIELDS:
+        assert np.array_equal(state[f], ref_state[f]), (
+            f"{case} ({'cache' if cache else 'no-cache'}): {f!r} not bit-identical"
+        )
+    assert dts == ref_dts[5:], "resumed dt sequence diverged"
+
+
+def test_checkpointing_does_not_perturb_the_trajectory(tmp_path):
+    """A checkpointing run ends bit-identical to a checkpoint-free one."""
+    ref_state, ref_dts = _uninterrupted("square-patch", False)
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path), checkpoint_every=3)
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=10)
+        assert sim.checkpoint_manager.checkpoints_written >= 3
+        state = _final_state(sim)
+        assert [s.dt for s in sim.history] == ref_dts
+    for f in FIELDS:
+        assert np.array_equal(state[f], ref_state[f])
+
+
+def test_rolling_window_prunes_and_leaves_no_tmp(tmp_path):
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2, keep=2)
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=8)
+    names = sorted(os.listdir(tmp_path))
+    assert names == ["ckpt_00000006.ckpt", "ckpt_00000008.ckpt", "latest"]
+    assert (tmp_path / "latest").read_text().strip() == "ckpt_00000008.ckpt"
+
+
+def test_torn_latest_falls_back_to_previous_checkpoint(tmp_path):
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2, keep=2)
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=4)
+    newest = tmp_path / "ckpt_00000004.ckpt"
+    # Tear the newest file (crash mid-write of a *non*-atomic writer).
+    newest.write_bytes(newest.read_bytes()[:100])
+    found = find_latest_checkpoint(tmp_path)
+    assert found is not None and found.name == "ckpt_00000002.ckpt"
+    with _sim("square-patch", False, resilience=res) as sim:
+        assert sim.resume() is True
+        assert sim.step_index == 2
+
+
+def test_autoresume_with_empty_directory_starts_fresh(tmp_path):
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path / "nope"), checkpoint_every=100)
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=1)
+        assert sim.step_index == 1
+
+
+def test_explicit_resume_path(tmp_path):
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2)
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=4)
+    with _sim("square-patch", False) as sim:
+        assert sim.resume(tmp_path / "ckpt_00000002.ckpt") is True
+        assert sim.step_index == 2 and sim.time > 0.0
+
+
+def test_restore_reinstates_compatible_cache_state(tmp_path):
+    """The checkpoint carries the Verlet cache so resume replays its
+    exact reuse schedule (required for cache-on bit-identity)."""
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2)
+    with _sim("square-patch", True, resilience=res) as sim:
+        sim.run(n_steps=4)
+    with _sim("square-patch", True, resilience=res) as sim:
+        assert sim.resume() is True
+        assert sim._ncache._nlist is not None  # repopulated, not cold
+        assert sim._ncache.stats.builds == 0  # restore is not a build
+
+
+def test_restore_without_cache_state_invalidates(tmp_path):
+    """A checkpoint from a cache-off run resumed cache-on must rebuild."""
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2)
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=2)
+    with _sim("square-patch", True, resilience=res) as sim:
+        sim.resume()
+        assert sim._ncache._nlist is None
+        sim.step()
+        assert sim._ncache.stats.builds == 1
+
+
+def test_young_auto_interval_bootstraps_then_stretches(tmp_path):
+    res = ResilienceConfig(
+        checkpoint_dir=str(tmp_path), checkpoint_every=0, mtbf=3600.0
+    )
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=4)
+        mgr = sim.checkpoint_manager
+        assert mgr.checkpoints_written >= 1
+        assert mgr.last_write_seconds > 0.0
+        # With a measured cost and step EWMA, Young K = sqrt(2CM)/t_step
+        # is far above 1 for a millisecond-cheap checkpoint vs 1h MTBF.
+        assert mgr.interval_steps() > 1
+
+
+def test_checkpoint_meta_round_trips_stepper_memory(tmp_path):
+    res = ResilienceConfig(checkpoint_dir=str(tmp_path), checkpoint_every=3)
+    with _sim("square-patch", False, resilience=res) as sim:
+        sim.run(n_steps=3)
+        dt_prev = sim.stepper._dt_prev
+    cp = read_checkpoint(tmp_path / "ckpt_00000003.ckpt")
+    assert cp.meta["dt_prev"] == dt_prev
+    assert cp.step_index == 3
+
+
+def test_resilience_config_validation(tmp_path):
+    with pytest.raises(ValueError):
+        ResilienceConfig(checkpoint_every=-1)
+    with pytest.raises(ValueError):
+        ResilienceConfig(keep=0)
+    with pytest.raises(ValueError):
+        ResilienceConfig(mtbf=0.0)
+    mgr = CheckpointManager(ResilienceConfig(checkpoint_dir=str(tmp_path)))
+    assert mgr.interval_steps() == 10  # fixed-K passthrough

@@ -1,0 +1,221 @@
+"""Supervised pool: crash/hang recovery, idempotence, degradation.
+
+These tests drive :class:`repro.parallel.supervisor.SupervisedPool`
+directly with the physics-free ``probe`` task, so every recovery path —
+sentinel crash detection, EWMA deadline hangs, late-reply discard,
+respawn budget exhaustion, serial degradation — is pinned down without
+SPH noise.  Driver-level fault injection lives in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import ShmArena
+from repro.parallel.supervisor import SupervisedPool, SupervisorConfig
+from repro.resilience.chaos import ChaosEvent, ChaosPolicy
+
+N = 1000
+CHUNKS = [(0, 250), (250, 500), (500, 750), (750, 1000)]
+EXPECTED = np.arange(N, dtype=np.float64)
+FAST = dict(initial_deadline=30.0, backoff_base=0.001)
+
+
+@pytest.fixture
+def arena():
+    a = ShmArena(1 << 20)
+    yield a
+    a.close()
+
+
+def _cycle(arena: ShmArena) -> np.ndarray:
+    arena.reset()
+    arena.require(8 * N * 2 + 1024)
+    return arena.alloc("out", (N,), np.float64)
+
+
+def _probe(pool: SupervisedPool, arena: ShmArena, out_field: str = "out", **kw):
+    return pool.map(
+        "probe", CHUNKS, arena.descriptor(), {"out": out_field}, phase="T", **kw
+    )
+
+
+def test_healthy_map_matches_and_keeps_clean_stats(arena):
+    out = _cycle(arena)
+    with SupervisedPool(2, config=SupervisorConfig(**FAST)) as pool:
+        replies = _probe(pool, arena)
+        assert [d["rows"] for _, d in replies] == [hi - lo for lo, hi in CHUNKS]
+        assert np.array_equal(np.array(out), EXPECTED)
+        s = pool.stats
+        assert (s.crashes, s.hangs, s.respawns, s.reissues) == (0, 0, 0, 0)
+        assert not s.degraded
+
+
+def test_worker_crash_respawns_and_reissues_lost_chunks(arena):
+    out = _cycle(arena)
+    chaos = ChaosPolicy([ChaosEvent(step=0, phase="T", action="kill", worker=0)])
+    with SupervisedPool(2, config=SupervisorConfig(**FAST), chaos=chaos) as pool:
+        _probe(pool, arena)
+        assert np.array_equal(np.array(out), EXPECTED)
+        s = pool.stats
+        assert s.crashes == 1 and s.respawns == 1 and s.reissues >= 1
+        assert not s.degraded
+        # The respawned worker serves the next arena cycle normally.
+        out = _cycle(arena)
+        _probe(pool, arena)
+        assert np.array_equal(np.array(out), EXPECTED)
+        assert pool.stats.crashes == 1
+
+
+def test_every_worker_killed_still_completes(arena):
+    out = _cycle(arena)
+    chaos = ChaosPolicy(
+        [ChaosEvent(step=0, phase="T", action="kill", worker=w) for w in range(3)]
+    )
+    with SupervisedPool(3, config=SupervisorConfig(**FAST), chaos=chaos) as pool:
+        _probe(pool, arena)
+        assert np.array_equal(np.array(out), EXPECTED)
+        assert pool.stats.crashes == 3
+        assert not pool.stats.degraded
+
+
+def test_hung_worker_deadline_reissue_discards_late_reply(arena):
+    out = _cycle(arena)
+    chaos = ChaosPolicy(
+        [ChaosEvent(step=0, phase="T", action="delay", worker=0, delay=1.5)]
+    )
+    cfg = SupervisorConfig(
+        initial_deadline=0.3,
+        min_deadline=0.3,
+        drain_timeout=10.0,
+        backoff_base=0.001,
+    )
+    with SupervisedPool(2, config=cfg, chaos=chaos) as pool:
+        _probe(pool, arena)
+        # Re-issued chunks and the (discarded) late write are bitwise
+        # identical, so the data is right either way; the stats prove the
+        # deadline fired and the late reply was not double-applied.
+        assert np.array_equal(np.array(out), EXPECTED)
+        s = pool.stats
+        assert s.hangs == 1
+        assert s.late_replies_discarded >= 1
+        assert s.crashes == 0  # drain succeeded: no kill was needed
+        # Worker is clean again: next cycle runs healthy.
+        out = _cycle(arena)
+        _probe(pool, arena)
+        assert np.array_equal(np.array(out), EXPECTED)
+        assert pool.stats.hangs == 1
+
+
+def test_unresponsive_worker_is_terminated_after_drain_window(arena):
+    out = _cycle(arena)
+    chaos = ChaosPolicy(
+        [ChaosEvent(step=0, phase="T", action="delay", worker=0, delay=8.0)]
+    )
+    cfg = SupervisorConfig(
+        initial_deadline=0.3,
+        min_deadline=0.3,
+        drain_timeout=0.3,
+        backoff_base=0.001,
+    )
+    with SupervisedPool(2, config=cfg, chaos=chaos) as pool:
+        _probe(pool, arena)
+        assert np.array_equal(np.array(out), EXPECTED)
+        s = pool.stats
+        assert s.hangs == 1
+        # Drain window expired before the 8s sleep ended: hang escalates
+        # to a crash so nothing can write into a future arena cycle.
+        assert s.crashes == 1 and s.respawns == 1
+
+
+def test_respawn_budget_exhaustion_degrades_to_serial(arena):
+    out = _cycle(arena)
+    chaos = ChaosPolicy(
+        [
+            ChaosEvent(step=0, phase="T", action="kill", worker=0),
+            ChaosEvent(step=0, phase="T", action="kill", worker=1),
+        ]
+    )
+    cfg = SupervisorConfig(max_respawns=0, **FAST)
+    with SupervisedPool(2, config=cfg, chaos=chaos) as pool:
+        _probe(pool, arena)
+        assert np.array_equal(np.array(out), EXPECTED)
+        s = pool.stats
+        assert s.degraded
+        assert s.serial_fallbacks >= 1
+        assert s.respawns == 0
+        # Degradation is sticky but the pool still answers correctly.
+        out = _cycle(arena)
+        _probe(pool, arena)
+        assert np.array_equal(np.array(out), EXPECTED)
+
+
+def test_sdc_flip_detected_and_recomputed_serially(arena):
+    out = _cycle(arena)
+    chaos = ChaosPolicy(
+        [
+            ChaosEvent(
+                step=0, phase="T", action="flip", chunk=1,
+                field="out", index=7, bit=62,
+            )
+        ]
+    )
+    with SupervisedPool(2, config=SupervisorConfig(**FAST), chaos=chaos) as pool:
+        _probe(pool, arena, verify=(("out", False),))
+        assert np.array_equal(np.array(out), EXPECTED)
+        s = pool.stats
+        assert s.sdc_detected == 1
+        assert s.serial_fallbacks >= 1
+
+
+def test_sdc_flip_unverified_corrupts_silently(arena):
+    """Control: without the verify pass the flip lands — detection is real."""
+    out = _cycle(arena)
+    chaos = ChaosPolicy(
+        [
+            ChaosEvent(
+                step=0, phase="T", action="flip", chunk=1,
+                field="out", index=7, bit=62,
+            )
+        ]
+    )
+    with SupervisedPool(2, config=SupervisorConfig(**FAST), chaos=chaos) as pool:
+        _probe(pool, arena)
+        assert not np.array_equal(np.array(out), EXPECTED)
+        assert pool.stats.sdc_detected == 0
+
+
+def test_latency_ewma_tightens_the_deadline():
+    pool = SupervisedPool(1, config=SupervisorConfig(**FAST))
+    try:
+        assert pool._allowance("probe") == pytest.approx(30.0)
+        pool._observe_latency("probe", 0.01)
+        cfg = pool.config
+        assert pool._allowance("probe") == pytest.approx(
+            max(cfg.min_deadline, cfg.deadline_factor * 0.01)
+        )
+        # Kinds keep independent EWMAs.
+        assert pool._allowance("density") == pytest.approx(30.0)
+    finally:
+        pool.close()
+
+
+def test_supervisor_config_validation():
+    with pytest.raises(ValueError):
+        SupervisorConfig(deadline_factor=1.0)
+    with pytest.raises(ValueError):
+        SupervisorConfig(min_deadline=0.0)
+    with pytest.raises(ValueError):
+        SupervisorConfig(ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        SupervisorConfig(max_respawns=-1)
+
+
+def test_pool_close_is_idempotent(arena):
+    out = _cycle(arena)
+    pool = SupervisedPool(2, config=SupervisorConfig(**FAST))
+    _probe(pool, arena)
+    assert np.array_equal(np.array(out), EXPECTED)
+    pool.close()
+    pool.close()  # second close must be a no-op
