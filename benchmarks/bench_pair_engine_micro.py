@@ -1,0 +1,133 @@
+"""Micro-benchmark of the zero-redundancy pair engine at N=8e3.
+
+Times one full rate evaluation (phases A-I) per step on the square
+patch, serially, with the pair engine on and off, on bit-identical
+trajectories.  Records per-step wall times, the speedup, the engine's
+geometry reuse counters and steady-state allocation behaviour into
+``benchmarks/results/BENCH_pair_engine.json``.
+
+The committed baseline ``benchmarks/baselines/BENCH_pair_engine.json``
+pins the normalized step time (engine-on / engine-off ratio): CI's
+bench-smoke job fails when the ratio regresses by more than 10%
+(see ``benchmarks/check_pair_engine_regression.py``).
+
+The 1.5x speedup target is a *serial* redundancy-elimination claim, so
+it does not need multiple cores — but it does need enough pairs for the
+eliminated work to dominate fixed per-step overheads, so the assertion
+is gated on the workload size (N >= 8000; shrink via
+``REPRO_BENCH_PAIR_SIDE`` for smoke runs and the gate lifts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.ics.square_patch import SquarePatchConfig, make_square_patch
+from repro.parallel import ExecConfig
+from repro.timestepping.steppers import TimestepParams
+
+#: patch side AND layer count; 20 x 20 x 20 = 8000 particles.
+PAIR_SIDE = int(os.environ.get("REPRO_BENCH_PAIR_SIDE", "20"))
+WARMUP_STEPS = 2
+TIMED_STEPS = 3
+
+
+def _make_sim(pair_engine: bool) -> Simulation:
+    particles, box, eos = make_square_patch(
+        SquarePatchConfig(side=PAIR_SIDE, layers=PAIR_SIDE)
+    )
+    config = SimulationConfig().with_(
+        n_neighbors=30,
+        timestep_params=TimestepParams(use_energy_criterion=False),
+    )
+    exec_config = ExecConfig(
+        workers=0, neighbor_cache=True, pair_engine=pair_engine
+    )
+    return Simulation(particles, box, eos, config=config, exec_config=exec_config)
+
+
+def _time_steps(sim: Simulation) -> float:
+    """Best-of-TIMED_STEPS wall time of one full step (rates + advance)."""
+    for _ in range(WARMUP_STEPS):  # lists built, arena grown, caches warm
+        sim.step()
+    best = np.inf
+    for _ in range(TIMED_STEPS):
+        t0 = time.perf_counter()
+        sim.step()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_pair_engine_micro(report, results_dir):
+    on = _make_sim(pair_engine=True)
+    try:
+        t_on = _time_steps(on)
+        n = on.particles.n
+        n_pairs = on.history[-1].n_pairs
+        steady = on.history[-1]
+        # Every reuse is a geometry pass the legacy path recomputed.
+        passes = steady.pair_geometry_computes + steady.pair_geometry_reuses
+    finally:
+        on.close()
+
+    off = _make_sim(pair_engine=False)
+    try:
+        t_off = _time_steps(off)
+    finally:
+        off.close()
+
+    speedup = t_off / t_on if t_on > 0 else float("inf")
+    ratio = t_on / t_off if t_off > 0 else float("inf")
+    target_applies = n >= 8000
+    record = {
+        "case": "square patch, serial per-step rate evaluation (phases A-I)",
+        "n_particles": n,
+        "n_pairs": n_pairs,
+        "warmup_steps": WARMUP_STEPS,
+        "timed_steps": TIMED_STEPS,
+        "cpu_count": os.cpu_count(),
+        "t_step_engine_on_s": t_on,
+        "t_step_engine_off_s": t_off,
+        "speedup": speedup,
+        "normalized_step_time": ratio,
+        "geometry_passes_per_step": passes,
+        "geometry_computes_per_step": steady.pair_geometry_computes,
+        "geometry_reuses_per_step": steady.pair_geometry_reuses,
+        "steady_state_bytes_allocated": steady.pair_bytes_allocated,
+        "steady_state_bytes_reused": steady.pair_bytes_reused,
+        "target_speedup": 1.5,
+        "target_applies": target_applies,
+    }
+    (results_dir / "BENCH_pair_engine.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    report(
+        "BENCH_pair_engine",
+        (
+            f"pair-engine micro-benchmark (N={n}, {n_pairs} pairs, serial)\n"
+            f"  engine on : {t_on * 1e3:8.2f} ms/step "
+            f"({steady.pair_geometry_computes} geometry computes, "
+            f"{steady.pair_geometry_reuses} reuses, "
+            f"{steady.pair_bytes_allocated} B allocated/step)\n"
+            f"  engine off: {t_off * 1e3:8.2f} ms/step "
+            f"({passes} geometry passes recomputed)\n"
+            f"  speedup: {speedup:5.2f}x (target >= 1.5x at N >= 8000)"
+        ),
+    )
+    assert np.isfinite(t_on) and t_on > 0.0
+    # Steady state: one geometry pass feeds the whole step, nothing is
+    # freshly allocated on the pair axis.
+    assert steady.pair_geometry_computes == 1
+    assert steady.pair_geometry_reuses >= 3
+    assert steady.pair_bytes_allocated == 0
+    if target_applies:
+        assert speedup >= 1.5, (
+            f"pair-engine speedup {speedup:.2f}x below the 1.5x "
+            f"acceptance threshold at N={n}"
+        )

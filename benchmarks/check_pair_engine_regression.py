@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Gate the pair-engine bench against its committed baseline.
+
+Compares the *normalized* step time (engine-on / engine-off, measured
+within one run on one host — so absolute machine speed cancels) of a
+fresh ``benchmarks/results/BENCH_pair_engine.json`` against the
+committed ``benchmarks/baselines/BENCH_pair_engine.json`` and exits
+non-zero when the ratio regressed by more than 10%.
+
+Skips (exit 0 with a notice) when the host cannot produce a meaningful
+measurement: fewer than 2 usable cores (shared CI runners at 1 core time
+mostly scheduler noise) or a shrunken smoke workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+TOLERANCE = 1.10  # fail on > 10% step-time regression
+
+ROOT = Path(__file__).parent
+RESULT = ROOT / "results" / "BENCH_pair_engine.json"
+BASELINE = ROOT / "baselines" / "BENCH_pair_engine.json"
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"no fresh result at {RESULT}; run bench_pair_engine_micro first")
+        return 1
+    current = json.loads(RESULT.read_text())
+    baseline = json.loads(BASELINE.read_text())
+
+    cores = _usable_cores()
+    if cores < 2:
+        print(f"skipping regression gate: only {cores} usable core(s)")
+        return 0
+    if not current.get("target_applies", False):
+        print(
+            "skipping regression gate: shrunken workload "
+            f"(N={current['n_particles']})"
+        )
+        return 0
+
+    now = current["normalized_step_time"]
+    ref = baseline["normalized_step_time"]
+    limit = ref * TOLERANCE
+    verdict = "OK" if now <= limit else "REGRESSION"
+    print(
+        f"pair-engine normalized step time: {now:.3f} "
+        f"(baseline {ref:.3f}, limit {limit:.3f}) -> {verdict}"
+    )
+    if now > limit:
+        print(
+            f"engine-on step time regressed {now / ref - 1.0:+.1%} "
+            f"vs baseline (tolerance +10%)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from ..profiling.trace import State, Tracer
 from ..sph.density import compute_density
 from ..sph.eos import EquationOfState
 from ..sph.forces import compute_forces
+from ..sph.pair_engine import PairContext, PairEngineStats, new_pair_token
 from ..sph.smoothing import (
     SmoothingConfig,
     adapt_from_cached_list,
@@ -68,6 +69,11 @@ class StepStats:
     mean_neighbors: float
     energy_floor_hits: int
     conservation: ConservationState
+    # Pair-engine activity during this step (0 when the engine is off):
+    pair_geometry_computes: int = 0
+    pair_geometry_reuses: int = 0
+    pair_bytes_allocated: int = 0
+    pair_bytes_reused: int = 0
 
 
 @dataclass
@@ -127,6 +133,16 @@ class Simulation:
             self.stepper = AdaptiveTimestep(self.config.timestep_params)
         else:
             self.stepper = IndividualTimesteps(self.config.timestep_params)
+        # Pair engine: one persistent serial-path context plus the epoch
+        # tokens shipped to pool workers.  ``exec_config.pair_engine=False``
+        # turns it off; the SPH kernels then build ephemeral contexts per
+        # call (the pre-engine cost model, bitwise-identical results).
+        self._pair_ctx: Optional[PairContext] = None
+        if self.exec_config is None or self.exec_config.pair_engine:
+            self._pair_ctx = PairContext()
+        self._pair_tokens: tuple = (None, None, None)
+        self._pair_state_obj: Optional[ParticleSystem] = None
+        self._pair_state_epochs: tuple = ()
         self._engine = None
         self._ncache = None
         if self.exec_config is not None:
@@ -160,6 +176,60 @@ class Simulation:
             self._abft_guard = AbftForceGuard()
 
     # ------------------------------------------------------------------
+    # Pair-engine token bookkeeping
+    # ------------------------------------------------------------------
+    def _refresh_pair_tokens(self) -> None:
+        """Re-mint epoch tokens for every particle field that changed.
+
+        Tokens are process-unique integers (see
+        :func:`repro.sph.pair_engine.new_pair_token`); a stable token
+        across calls asserts "this field's values are unchanged", which
+        is what lets the geometry survive from the h-adaptation phase
+        into density/forces and lets pool workers trust their slice
+        caches across phases.  Swapping the particle object (restore,
+        manual reassignment) re-mints everything.
+        """
+        if self._pair_ctx is None:
+            return
+        p = self.particles
+        epochs = (p.epoch("x"), p.epoch("h"), p.epoch("v"))
+        tg, th, tv = self._pair_tokens
+        if self._pair_state_obj is not p:
+            tg = th = tv = None
+        else:
+            prev = self._pair_state_epochs
+            if prev[0] != epochs[0]:
+                tg = None
+            if prev[1] != epochs[1]:
+                th = None
+            if prev[2] != epochs[2]:
+                tv = None
+        if tg is None:
+            tg = new_pair_token()
+        if th is None:
+            th = new_pair_token()
+        if tv is None:
+            tv = new_pair_token()
+        self._pair_state_obj = p
+        self._pair_state_epochs = epochs
+        self._pair_tokens = (tg, th, tv)
+        self._pair_ctx.set_tokens(tg, th, tv)
+
+    def _pair_token_param(self):
+        """Token tuple for pool workers (None = engine off)."""
+        return self._pair_tokens if self._pair_ctx is not None else None
+
+    @property
+    def pair_engine_stats(self) -> PairEngineStats:
+        """Combined serial + worker pair-engine counters (zeros when off)."""
+        total = PairEngineStats()
+        if self._pair_ctx is not None:
+            total.merge(self._pair_ctx.stats.as_dict())
+        if self._engine is not None:
+            total.merge(self._engine.pair_stats.as_dict())
+        return total
+
+    # ------------------------------------------------------------------
     # Rate evaluation: Algorithm 1 steps 1-4 (phases A-I)
     # ------------------------------------------------------------------
     def compute_rates(self) -> None:
@@ -168,6 +238,7 @@ class Simulation:
         cfg = self.config
         tr = self.tracer
         engine = self._engine
+        self._refresh_pair_tokens()
 
         # Verlet-skin cache: reuse the padded neighbour list while every
         # particle sits within the skin budget (half for displacement,
@@ -203,14 +274,23 @@ class Simulation:
         with tr.phase(Phase.SMOOTHING_LENGTH.letter, State.USEFUL, self.rank):
             if cached is not None:
                 cached = adapt_from_cached_list(
-                    p, cached, self.box, self._smoothing, self._ncache
+                    p, cached, self.box, self._smoothing, self._ncache,
+                    ctx=self._pair_ctx,
                 )
             if cached is not None:
                 self._nlist = cached
             else:
                 self._nlist = adapt_smoothing_lengths(
-                    p, self.box, self._smoothing, search=search, cache=self._ncache
+                    p, self.box, self._smoothing, search=search,
+                    cache=self._ncache, ctx=self._pair_ctx,
                 )
+        # The h iteration may have rewritten ``h`` — re-mint its token so
+        # kernel-value caches key on the adapted values (the geometry
+        # token is untouched: positions did not move, so the ``(i, j,
+        # dx, r)`` block primed above carries straight into the phases
+        # below).
+        self._refresh_pair_tokens()
+        pair_tokens = self._pair_token_param()
 
         c_matrices = None
         if cfg.gradients == "iad":
@@ -224,6 +304,7 @@ class Simulation:
                         self.kernel,
                         self.box,
                         phase=Phase.NEIGHBOR_LISTS.letter,
+                        pair_tokens=pair_tokens,
                     )
                 c_matrices = engine.iad_matrices(
                     p,
@@ -231,13 +312,18 @@ class Simulation:
                     self.kernel,
                     self.box,
                     phase=Phase.NEIGHBOR_LISTS.letter,
+                    pair_tokens=pair_tokens,
                 )
             else:
                 with tr.phase(Phase.NEIGHBOR_LISTS.letter, State.USEFUL, self.rank):
                     if np.all(p.rho <= 0.0):
-                        compute_density(p, self._nlist, self.kernel, self.box)
+                        compute_density(
+                            p, self._nlist, self.kernel, self.box,
+                            ctx=self._pair_ctx,
+                        )
                     c_matrices = compute_iad_matrices(
-                        p, self._nlist, self.kernel, self.box
+                        p, self._nlist, self.kernel, self.box,
+                        ctx=self._pair_ctx,
                     )
 
         if engine is not None:
@@ -249,6 +335,7 @@ class Simulation:
                 volume_elements=cfg.volume_elements,
                 xmass_exponent=cfg.xmass_exponent,
                 phase=Phase.DENSITY.letter,
+                pair_tokens=pair_tokens,
             )
         else:
             with tr.phase(Phase.DENSITY.letter, State.USEFUL, self.rank):
@@ -259,6 +346,7 @@ class Simulation:
                     self.box,
                     volume_elements=cfg.volume_elements,
                     xmass_exponent=cfg.xmass_exponent,
+                    ctx=self._pair_ctx,
                 )
 
         with tr.phase(Phase.EQUATION_OF_STATE.letter, State.USEFUL, self.rank):
@@ -275,6 +363,7 @@ class Simulation:
                 grad_h=cfg.grad_h,
                 c_matrices=c_matrices,
                 phase=Phase.MOMENTUM_ENERGY.letter,
+                pair_tokens=pair_tokens,
             )
             self._max_mu = result.max_mu
         else:
@@ -288,6 +377,7 @@ class Simulation:
                     viscosity=cfg.viscosity,
                     grad_h=cfg.grad_h,
                     c_matrices=c_matrices,
+                    ctx=self._pair_ctx,
                 )
                 self._max_mu = result.max_mu
 
@@ -335,6 +425,7 @@ class Simulation:
     def step(self) -> StepStats:
         p = self.particles
         tr = self.tracer
+        pair_snap = self.pair_engine_stats.snapshot()
         if self._engine is not None:
             # Chaos events and recovery logs are keyed by driver step.
             self._engine.set_step(self.step_index)
@@ -372,6 +463,7 @@ class Simulation:
                 self.sdc_findings.extend(
                     f"step {self.step_index}: {f}" for f in findings
                 )
+        pair_delta = self.pair_engine_stats.delta(pair_snap)
         stats = StepStats(
             index=self.step_index,
             time=self.time,
@@ -383,6 +475,10 @@ class Simulation:
             mean_neighbors=float(nl.counts().mean()) if nl is not None else 0.0,
             energy_floor_hits=floor_hits,
             conservation=conservation,
+            pair_geometry_computes=pair_delta["geometry_computes"],
+            pair_geometry_reuses=pair_delta["geometry_reuses"],
+            pair_bytes_allocated=pair_delta["bytes_allocated"],
+            pair_bytes_reused=pair_delta["bytes_reused"],
         )
         self.history.append(stats)
         if self.checkpoint_manager is not None:

@@ -29,6 +29,14 @@ from .kernel_gradient import PairGradients
 __all__ = ["compute_iad_matrices", "iad_pair_gradients"]
 
 
+def _ephemeral_ctx():
+    # Imported lazily: repro.sph.forces imports this module at load time,
+    # so a top-level import of repro.sph here would be circular.
+    from ..sph.pair_engine import PairContext
+
+    return PairContext()
+
+
 def compute_iad_matrices(
     particles,
     nlist: NeighborList,
@@ -37,6 +45,7 @@ def compute_iad_matrices(
     *,
     rcond: float = 1e-10,
     rows: tuple[int, int] | None = None,
+    ctx=None,
 ) -> np.ndarray:
     """Per-particle IAD coefficient matrices ``C_i``, shape ``(n, dim, dim)``.
 
@@ -44,33 +53,27 @@ def compute_iad_matrices(
     before inversion so isolated or degenerate particle configurations
     (e.g. perfectly coplanar neighbours in 3-D) stay finite.  ``rows``
     restricts the computation to a query-row slice, returning
-    ``(hi - lo, dim, dim)`` matrices (pool fan-out mode).
+    ``(hi - lo, dim, dim)`` matrices (pool fan-out mode).  ``ctx`` is an
+    optional :class:`~repro.sph.pair_engine.PairContext` sharing pair
+    geometry and kernel values with the other phases.
     """
-    if rows is None:
-        lo, hi = 0, particles.n
-        sub = nlist
-    else:
-        lo, hi = rows
-        sub = nlist.row_slice(lo, hi)
-    n_rows = hi - lo
-    i = sub.pair_i() + lo
-    j = sub.indices
-    dx, r = sub.pair_geometry(particles.x, box, row_offset=lo)
+    pc = ctx if ctx is not None else _ephemeral_ctx()
+    pc.bind(particles.x, nlist, box, rows=rows)
     dim = particles.dim
-    w = kernel.value(r, particles.h[i], dim)
-    vol_j = particles.m[j] / particles.rho[j]
+    w = pc.w_i(kernel, particles.h, dim)
+    vol_j = pc.gather_scratch("iad_rho_j", particles.rho, "j")
+    np.divide(pc.m_j(particles.m), vol_j, out=vol_j)
     # dx = x_i - x_j; tau uses (x_j - x_i) but the sign cancels in the outer
     # product, so accumulate dx (x) dx directly.
-    weights = vol_j * w
-    outer = dx[:, :, None] * dx[:, None, :] * weights[:, None, None]
-    tau = np.zeros((n_rows, dim, dim))
-    flat_i = sub.pair_i()
-    for a in range(dim):
-        for b in range(a, dim):
-            col = np.bincount(flat_i, weights=outer[:, a, b], minlength=n_rows)
-            tau[:, a, b] = col
-            if b != a:
-                tau[:, b, a] = col
+    weights = np.multiply(vol_j, w, out=vol_j)
+    dx = pc.dx
+    outer = np.multiply(
+        dx[:, :, None],
+        dx[:, None, :],
+        out=pc.arena.take("iad_outer", (pc.n_pairs, dim, dim)),
+    )
+    np.multiply(outer, weights[:, None, None], out=outer)
+    tau = pc.reduce(outer)
     trace = np.einsum("kaa->k", tau)
     reg = np.maximum(trace * rcond, 1e-300)
     tau += reg[:, None, None] * np.eye(dim)[None, :, :]
@@ -87,12 +90,35 @@ def iad_pair_gradients(
     h_i: np.ndarray,
     h_j: np.ndarray,
     dim: int,
+    ctx=None,
+    h: np.ndarray | None = None,
 ) -> PairGradients:
     """IAD pair gradients ``A^(i)_ij`` and ``A^(j)_ij``.
 
     ``dx`` must be ``x_i - x_j``; the operator uses ``x_j - x_i = -dx`` so
-    it points toward j like the standard kernel gradient.
+    it points toward j like the standard kernel gradient.  With a bound
+    ``ctx`` (and the full ``h`` it gathers from), the kernel values come
+    out of the shared product memo and all temporaries live in reused
+    arena buffers.
     """
+    if ctx is not None and h is not None:
+        take = ctx.arena.take
+        wi = ctx.w_i(kernel, h, dim)
+        wj = ctx.w_j(kernel, h, dim)
+        n_pairs = ctx.n_pairs
+        towards_j = np.negative(dx, out=take("iad_negdx", (n_pairs, dim)))
+        cg = take("iad_cg", (n_pairs, dim, dim))
+        np.take(c_matrices, pair_i, axis=0, out=cg)
+        gi = np.einsum(
+            "kab,kb->ka", cg, towards_j, out=take("iad_gi", (n_pairs, dim))
+        )
+        np.multiply(gi, wi[:, None], out=gi)
+        np.take(c_matrices, pair_j, axis=0, out=cg)
+        gj = np.einsum(
+            "kab,kb->ka", cg, towards_j, out=take("iad_gj", (n_pairs, dim))
+        )
+        np.multiply(gj, wj[:, None], out=gj)
+        return PairGradients(gi=gi, gj=gj)
     wi = kernel.value(r, h_i, dim)
     wj = kernel.value(r, h_j, dim)
     towards_j = -dx

@@ -95,12 +95,41 @@ class Kernel(abc.ABC):
     # ------------------------------------------------------------------
     # Normalized kernel and derivatives
     # ------------------------------------------------------------------
+    def cache_key(self) -> tuple:
+        """Value-based identity for memoization across pickling.
+
+        Kernel instances are stateless apart from their construction
+        parameters, and every concrete kernel encodes those parameters in
+        ``name`` (e.g. ``"sinc-s5"``), so two pickled copies of the same
+        configuration share a key.
+        """
+        return (type(self).__qualname__, self.name)
+
     def value(self, r: np.ndarray, h: np.ndarray, dim: int = 3) -> np.ndarray:
         """Kernel value ``W(r, h)`` for separations ``r`` and lengths ``h``."""
         r = np.asarray(r, dtype=np.float64)
         h = np.asarray(h, dtype=np.float64)
         q = r / h
-        return self.sigma(dim) / h**dim * self.shape(q)
+        return self.value_from_q(q, h, dim)
+
+    def value_from_q(
+        self,
+        q: np.ndarray,
+        h: np.ndarray,
+        dim: int = 3,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``W`` from a precomputed ``q = r/h`` (optionally into ``out``).
+
+        The ``out`` path runs the identical operation sequence
+        ``sigma / h**dim * f(q)`` through in-place ufuncs, so results are
+        bitwise equal to the allocating path.
+        """
+        if out is None:
+            return self.sigma(dim) / h**dim * self.shape(q)
+        np.power(h, dim, out=out)
+        np.divide(self.sigma(dim), out, out=out)
+        return np.multiply(out, self.shape(q), out=out)
 
     def radial_derivative(
         self, r: np.ndarray, h: np.ndarray, dim: int = 3
@@ -109,7 +138,21 @@ class Kernel(abc.ABC):
         r = np.asarray(r, dtype=np.float64)
         h = np.asarray(h, dtype=np.float64)
         q = r / h
-        return self.sigma(dim) / h ** (dim + 1) * self.shape_derivative(q)
+        return self.radial_derivative_from_q(q, h, dim)
+
+    def radial_derivative_from_q(
+        self,
+        q: np.ndarray,
+        h: np.ndarray,
+        dim: int = 3,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``dW/dr`` from a precomputed ``q = r/h``."""
+        if out is None:
+            return self.sigma(dim) / h ** (dim + 1) * self.shape_derivative(q)
+        np.power(h, dim + 1, out=out)
+        np.divide(self.sigma(dim), out, out=out)
+        return np.multiply(out, self.shape_derivative(q), out=out)
 
     def gradient(
         self,
@@ -136,10 +179,58 @@ class Kernel(abc.ABC):
         """
         dx = np.asarray(dx, dtype=np.float64)
         r = np.asarray(r, dtype=np.float64)
-        dwdr = self.radial_derivative(r, h, dim)
+        h = np.asarray(h, dtype=np.float64)
+        q = r / h
+        return self.gradient_from_q(dx, r, q, h, dim)
+
+    def gradient_from_q(
+        self,
+        dx: np.ndarray,
+        r: np.ndarray,
+        q: np.ndarray,
+        h: np.ndarray,
+        dim: int = 3,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vector gradient from a precomputed ``q = r/h``.
+
+        ``scratch`` is an optional ``r``-shaped float64 buffer reused for
+        the radial-derivative intermediate.
+        """
+        dwdr = self.radial_derivative_from_q(q, h, dim, out=scratch)
         with np.errstate(invalid="ignore", divide="ignore"):
-            scale = np.where(r > 0.0, dwdr / np.where(r > 0.0, r, 1.0), 0.0)
-        return dx * scale[..., None]
+            np.divide(dwdr, np.where(r > 0.0, r, 1.0), out=dwdr)
+            scale = np.where(r > 0.0, dwdr, 0.0)
+        if out is None:
+            return dx * scale[..., None]
+        return np.multiply(dx, scale[..., None], out=out)
+
+    def value_and_gradient(
+        self,
+        dx: np.ndarray,
+        r: np.ndarray,
+        h: np.ndarray,
+        dim: int = 3,
+        *,
+        w_out: np.ndarray | None = None,
+        grad_out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> tuple:
+        """Fused ``(W, grad W)`` sharing one ``q = r/h`` evaluation.
+
+        Separate :meth:`value` + :meth:`gradient` calls each recompute
+        the normalized distance; here both draw from a single division.
+        Because they consume the same ``q`` bits the fused results are
+        bitwise identical to the separate calls.
+        """
+        dx = np.asarray(dx, dtype=np.float64)
+        r = np.asarray(r, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        q = r / h
+        w = self.value_from_q(q, h, dim, out=w_out)
+        grad = self.gradient_from_q(dx, r, q, h, dim, out=grad_out, scratch=scratch)
+        return w, grad
 
     def h_derivative(self, r: np.ndarray, h: np.ndarray, dim: int = 3) -> np.ndarray:
         """Smoothing-length derivative ``dW/dh`` used by grad-h terms.
@@ -149,11 +240,26 @@ class Kernel(abc.ABC):
         r = np.asarray(r, dtype=np.float64)
         h = np.asarray(h, dtype=np.float64)
         q = r / h
-        return (
-            -self.sigma(dim)
-            / h ** (dim + 1)
-            * (dim * self.shape(q) + q * self.shape_derivative(q))
-        )
+        return self.h_derivative_from_q(q, h, dim)
+
+    def h_derivative_from_q(
+        self,
+        q: np.ndarray,
+        h: np.ndarray,
+        dim: int = 3,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``dW/dh`` from a precomputed ``q = r/h``."""
+        if out is None:
+            return (
+                -self.sigma(dim)
+                / h ** (dim + 1)
+                * (dim * self.shape(q) + q * self.shape_derivative(q))
+            )
+        inner = dim * self.shape(q) + q * self.shape_derivative(q)
+        np.power(h, dim + 1, out=out)
+        np.divide(-self.sigma(dim), out, out=out)
+        return np.multiply(out, inner, out=out)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -36,6 +36,7 @@ from ..gravity.multipole import NodeMoments, compute_node_moments
 from ..profiling.trace import State, Tracer
 from ..sph.density import compute_density, grad_h_terms
 from ..sph.forces import ForceResult, compute_forces, velocity_divergence_curl
+from ..sph.pair_engine import PairContext, PairEngineStats
 from ..sph.viscosity import ViscosityParams, balsara_switch
 from ..tree.neighborlist import NeighborList
 from ..tree.octree import Octree
@@ -88,6 +89,13 @@ class ExecConfig:
         Deterministic fault-injection policy
         (:class:`~repro.resilience.chaos.ChaosPolicy`) consulted at task
         submission; ``None`` (default) injects nothing.
+    pair_engine:
+        Enable the per-step pair-geometry cache and scratch-buffer arena
+        (:mod:`repro.sph.pair_engine`) in the driver and — when the pool
+        is on — in every worker (one persistent context per row slice,
+        keyed by parent-minted epoch tokens).  On by default; ``False``
+        makes every phase rebuild its pair data from scratch (the
+        pre-engine behaviour, bitwise-identical results).
     """
 
     workers: int = 0
@@ -100,6 +108,7 @@ class ExecConfig:
     supervisor: Optional[SupervisorConfig] = None
     verify_outputs: bool = False
     chaos: Optional[Any] = None
+    pair_engine: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -144,8 +153,44 @@ def _nlist_from(views) -> NeighborList:
     )
 
 
+#: Per-process pair contexts for the row-sliced worker path, keyed by the
+#: task's row range.  Chunk boundaries are stable across the phases of a
+#: step (same CSR offsets), so one context serves a slice for the whole
+#: step; parent-minted tokens shipped in ``params["pair_tokens"]`` drive
+#: invalidation.  Contexts are trusted (``trust_tokens=True``) because
+#: shared-memory neighbour-list views are rebuilt per task.
+_WORKER_CTXS: dict = {}
+_WORKER_CTX_CAP = 64
+
+
+def _worker_pair_ctx(params, lo, hi):
+    """Fetch/create this slice's persistent context (None = engine off)."""
+    tokens = params.get("pair_tokens")
+    if tokens is None:
+        return None
+    key = (lo, hi)
+    ctx = _WORKER_CTXS.get(key)
+    if ctx is None:
+        if len(_WORKER_CTXS) >= _WORKER_CTX_CAP:
+            # Chunk boundaries changed wholesale (e.g. a resized run in
+            # the same pool) — drop everything rather than leak arenas.
+            _WORKER_CTXS.clear()
+        ctx = PairContext(trust_tokens=True)
+        _WORKER_CTXS[key] = ctx
+    ctx.set_tokens(*tokens)
+    return ctx
+
+
+def _pair_reply(ctx, snap, data):
+    if ctx is not None:
+        data["pair"] = ctx.stats.delta(snap)
+    return data
+
+
 @register_task("density")
 def _task_density(views, params, lo, hi):
+    ctx = _worker_pair_ctx(params, lo, hi)
+    snap = ctx.stats.snapshot() if ctx is not None else None
     particles = _particles_from(views, rho_field=params.get("rho_field", "rho"))
     rho = compute_density(
         particles,
@@ -155,53 +200,65 @@ def _task_density(views, params, lo, hi):
         volume_elements=params["volume_elements"],
         xmass_exponent=params["xmass_exponent"],
         rows=(lo, hi),
+        ctx=ctx,
     )
     views.view(params["out"])[lo:hi] = rho
-    return {}
+    return _pair_reply(ctx, snap, {})
 
 
 @register_task("iad")
 def _task_iad(views, params, lo, hi):
+    ctx = _worker_pair_ctx(params, lo, hi)
+    snap = ctx.stats.snapshot() if ctx is not None else None
     c = compute_iad_matrices(
         _particles_from(views),
         _nlist_from(views),
         params["kernel"],
         params["box"],
         rows=(lo, hi),
+        ctx=ctx,
     )
     views.view("out_c")[lo:hi] = c
-    return {}
+    return _pair_reply(ctx, snap, {})
 
 
 @register_task("gradh")
 def _task_gradh(views, params, lo, hi):
+    ctx = _worker_pair_ctx(params, lo, hi)
+    snap = ctx.stats.snapshot() if ctx is not None else None
     omega = grad_h_terms(
         _particles_from(views),
         _nlist_from(views),
         params["kernel"],
         params["box"],
         rows=(lo, hi),
+        ctx=ctx,
     )
     views.view("out_omega")[lo:hi] = omega
-    return {}
+    return _pair_reply(ctx, snap, {})
 
 
 @register_task("divcurl")
 def _task_divcurl(views, params, lo, hi):
+    ctx = _worker_pair_ctx(params, lo, hi)
+    snap = ctx.stats.snapshot() if ctx is not None else None
     div, curl = velocity_divergence_curl(
         _particles_from(views),
         _nlist_from(views),
         params["kernel"],
         params["box"],
         rows=(lo, hi),
+        ctx=ctx,
     )
     views.view("out_div")[lo:hi] = div
     views.view("out_curl")[lo:hi] = curl
-    return {}
+    return _pair_reply(ctx, snap, {})
 
 
 @register_task("forces")
 def _task_forces(views, params, lo, hi):
+    ctx = _worker_pair_ctx(params, lo, hi)
+    snap = ctx.stats.snapshot() if ctx is not None else None
     omega = views.view("out_omega") if params["grad_h"] else None
     balsara_f = views.view("balsara_f") if params["use_balsara"] else None
     c_matrices = views.view("c_matrices") if params["iad"] else None
@@ -217,10 +274,11 @@ def _task_forces(views, params, lo, hi):
         rows=(lo, hi),
         omega=omega,
         balsara_f=balsara_f,
+        ctx=ctx,
     )
     views.view("out_a")[lo:hi] = result.a
     views.view("out_du")[lo:hi] = result.du
-    return {"max_mu": result.max_mu}
+    return _pair_reply(ctx, snap, {"max_mu": result.max_mu})
 
 
 _TREE_FIELDS = (
@@ -328,6 +386,13 @@ class ParallelEngine:
         self._pool: Optional[Union[WorkerPool, SupervisedPool]] = None
         self._arena: Optional[ShmArena] = None
         self._step = 0
+        #: Aggregated pair-engine counters folded in from worker replies.
+        self.pair_stats = PairEngineStats()
+
+    def _merge_pair_stats(self, replies) -> None:
+        for _, data in replies:
+            if isinstance(data, dict):
+                self.pair_stats.merge(data.get("pair"))
 
     # ------------------------------------------------------------------
     def _ensure(self) -> Tuple[Union[WorkerPool, SupervisedPool], ShmArena]:
@@ -436,6 +501,7 @@ class ParallelEngine:
         volume_elements: str = "standard",
         xmass_exponent: float = 0.7,
         phase: str = "E",
+        pair_tokens: Optional[Tuple] = None,
     ) -> np.ndarray:
         """Pool-parallel :func:`repro.sph.density.compute_density`."""
         pool, arena = self._ensure()
@@ -455,6 +521,7 @@ class ParallelEngine:
                 "volume_elements": volume_elements,
                 "xmass_exponent": xmass_exponent,
                 "out": "out_rho",
+                "pair_tokens": pair_tokens,
             }
             if bootstrap:
                 # Pass 1 fills a standard summation the generalized
@@ -464,9 +531,11 @@ class ParallelEngine:
                 boot_params = dict(
                     params, volume_elements="standard", out="rho_boot"
                 )
-                self._map(
-                    "density", chunks, boot_params,
-                    phase=phase, verify=(("rho_boot", True),),
+                self._merge_pair_stats(
+                    self._map(
+                        "density", chunks, boot_params,
+                        phase=phase, verify=(("rho_boot", True),),
+                    )
                 )
                 params["rho_field"] = "rho_boot"
             replies = self._map(
@@ -474,7 +543,7 @@ class ParallelEngine:
                 phase=phase, verify=(("out_rho", True),),
             )
         with self._phase(phase, State.REDUCE):
-            del replies
+            self._merge_pair_stats(replies)
             particles.rho[:] = out
         return particles.rho
 
@@ -487,6 +556,7 @@ class ParallelEngine:
         box,
         *,
         phase: str = "D",
+        pair_tokens: Optional[Tuple] = None,
     ) -> np.ndarray:
         """Pool-parallel :func:`repro.gradients.iad.compute_iad_matrices`."""
         pool, arena = self._ensure()
@@ -497,9 +567,11 @@ class ParallelEngine:
             self._begin_cycle(arena, particles, nlist, extra)
             out = arena.alloc("out_c", (n, dim, dim), np.float64)
             chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
-            params = {"kernel": kernel, "box": box}
-            self._map(
-                "iad", chunks, params, phase=phase, verify=(("out_c", False),)
+            params = {"kernel": kernel, "box": box, "pair_tokens": pair_tokens}
+            self._merge_pair_stats(
+                self._map(
+                    "iad", chunks, params, phase=phase, verify=(("out_c", False),)
+                )
             )
         with self._phase(phase, State.REDUCE):
             c = np.array(out, copy=True)
@@ -518,6 +590,7 @@ class ParallelEngine:
         grad_h: bool = False,
         c_matrices: Optional[np.ndarray] = None,
         phase: str = "G",
+        pair_tokens: Optional[Tuple] = None,
     ) -> ForceResult:
         """Pool-parallel :func:`repro.sph.forces.compute_forces`.
 
@@ -530,7 +603,10 @@ class ParallelEngine:
         n, dim = particles.n, particles.dim
         use_iad = gradients == "iad"
         if use_iad and c_matrices is None:
-            c_matrices = self.iad_matrices(particles, nlist, kernel, box, phase=phase)
+            c_matrices = self.iad_matrices(
+                particles, nlist, kernel, box,
+                phase=phase, pair_tokens=pair_tokens,
+            )
         with self._phase(phase, State.FAN_OUT):
             extra = _field_bytes((n, dim), np.float64) + _field_bytes((n,), np.float64)
             extra += 4 * _field_bytes((n,), np.float64)  # omega/div/curl/balsara
@@ -540,20 +616,24 @@ class ParallelEngine:
             if use_iad:
                 arena.publish("c_matrices", c_matrices)
             chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
-            base = {"kernel": kernel, "box": box}
+            base = {"kernel": kernel, "box": box, "pair_tokens": pair_tokens}
             if grad_h:
                 arena.alloc("out_omega", (n,), np.float64)
-                self._map(
-                    "gradh", chunks, base,
-                    phase=phase, verify=(("out_omega", True),),
+                self._merge_pair_stats(
+                    self._map(
+                        "gradh", chunks, base,
+                        phase=phase, verify=(("out_omega", True),),
+                    )
                 )
             if viscosity.use_balsara:
                 div = arena.alloc("out_div", (n,), np.float64)
                 curl = arena.alloc("out_curl", (n,), np.float64)
-                self._map(
-                    "divcurl", chunks, base,
-                    phase=phase,
-                    verify=(("out_div", False), ("out_curl", False)),
+                self._merge_pair_stats(
+                    self._map(
+                        "divcurl", chunks, base,
+                        phase=phase,
+                        verify=(("out_div", False), ("out_curl", False)),
+                    )
                 )
                 f = balsara_switch(div, curl, particles.cs, particles.h)
                 arena.publish("balsara_f", f)
@@ -572,6 +652,7 @@ class ParallelEngine:
                 verify=(("out_a", False), ("out_du", False)),
             )
         with self._phase(phase, State.REDUCE):
+            self._merge_pair_stats(replies)
             max_mu = max((data["max_mu"] for _, data in replies), default=0.0)
             particles.a[:] = out_a
             particles.du[:] = out_du

@@ -30,6 +30,7 @@ __all__ = [
     "recovery_overhead",
     "recovery_report",
     "neighbor_cache_report",
+    "pair_engine_report",
 ]
 
 
@@ -162,4 +163,22 @@ def neighbor_cache_report(stats) -> str:
         f"(hits={stats.hits}, builds={stats.builds}, "
         f"invalidated: displacement={stats.misses_displacement}, "
         f"h-change={stats.misses_h_change}, cold/shape={stats.misses_shape})"
+    )
+
+
+def pair_engine_report(stats) -> str:
+    """One-line report of the pair-geometry engine's reuse behaviour.
+
+    ``stats`` is a :class:`~repro.sph.pair_engine.PairEngineStats`
+    (duck-typed so profiling does not import the sph package).
+    """
+    geo = stats.geometry_computes + stats.geometry_reuses
+    prod = stats.product_computes + stats.product_reuses
+    byt = stats.bytes_allocated + stats.bytes_reused
+    return (
+        f"pair-engine: geometry {stats.geometry_reuses}/{geo} reused, "
+        f"products {stats.product_reuses}/{prod} reused, "
+        f"scratch {stats.bytes_reused / byt if byt else 0.0:5.3f} "
+        f"served in place ({stats.bytes_allocated} B allocated, "
+        f"{stats.bytes_reused} B reused)"
     )

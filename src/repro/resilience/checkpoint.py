@@ -142,6 +142,12 @@ class Checkpoint:
             sim.stepper._dt_prev = float(self.meta["dt_prev"])
         sim._nlist = None
         sim._rates_current = True
+        # The pair engine keys its caches on the particle *object*; the
+        # swap above re-mints every token, but drop the cached geometry
+        # explicitly so nothing outlives the restore.
+        pair_ctx = getattr(sim, "_pair_ctx", None)
+        if pair_ctx is not None:
+            pair_ctx.invalidate()
         ncache = getattr(sim, "_ncache", None)
         if ncache is None:
             return

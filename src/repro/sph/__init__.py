@@ -14,6 +14,12 @@ from .eos import (
     WeaklyCompressibleEOS,
 )
 from .forces import ForceResult, compute_forces, velocity_divergence_curl
+from .pair_engine import (
+    PairContext,
+    PairEngineStats,
+    ScratchArena,
+    new_pair_token,
+)
 from .smoothing import (
     SmoothingConfig,
     adapt_smoothing_lengths,
@@ -31,6 +37,10 @@ __all__ = [
     "ForceResult",
     "compute_forces",
     "velocity_divergence_curl",
+    "PairContext",
+    "PairEngineStats",
+    "ScratchArena",
+    "new_pair_token",
     "SmoothingConfig",
     "adapt_smoothing_lengths",
     "update_smoothing_lengths",

@@ -14,6 +14,12 @@ Implements both volume-element choices of Tables 1-2:
 Both run over a gather-compatible CSR neighbour list (self-pair included);
 pairs beyond the support of ``h_i`` contribute exactly zero, so a
 symmetric-mode list may be reused.
+
+Pair-loop storage and geometry go through a
+:class:`~repro.sph.pair_engine.PairContext`: the driver passes its
+per-step context so the ``(i, j, dx, r)`` block and the kernel values are
+computed once per step and shared with the other phases; without one an
+ephemeral context is used (same arithmetic, fresh storage).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 from ..kernels.base import Kernel
 from ..tree.box import Box
 from ..tree.neighborlist import NeighborList
+from .pair_engine import PairContext
 
 __all__ = ["compute_density", "grad_h_terms"]
 
@@ -36,6 +43,7 @@ def compute_density(
     volume_elements: str = "standard",
     xmass_exponent: float = 0.7,
     rows: tuple[int, int] | None = None,
+    ctx: PairContext | None = None,
 ) -> np.ndarray:
     """Update ``particles.rho`` in place and return it.
 
@@ -53,25 +61,25 @@ def compute_density(
         process-pool fan-out.  The generalized estimator then requires a
         valid (positive) global ``particles.rho`` from a previous pass;
         the bootstrap summation is orchestrated by the caller.
+    ctx:
+        Optional persistent :class:`~repro.sph.pair_engine.PairContext`
+        sharing pair geometry and kernel values across phases.
     """
     if volume_elements not in ("standard", "generalized"):
         raise ValueError(
             f"volume_elements must be 'standard' or 'generalized', got {volume_elements!r}"
         )
-    if rows is None:
-        lo, hi = 0, particles.n
-        sub = nlist
-    else:
-        lo, hi = rows
-        sub = nlist.row_slice(lo, hi)
-    i = sub.pair_i() + lo
-    j = sub.indices
-    _, r = sub.pair_geometry(particles.x, box, row_offset=lo)
+    pc = ctx if ctx is not None else PairContext()
+    pc.bind(particles.x, nlist, box, rows=rows)
+    lo, hi = pc.lo, pc.hi
+    j = pc.j
     dim = particles.dim
-    w = kernel.value(r, particles.h[i], dim)
+    w = pc.w_i(kernel, particles.h, dim)
+    m_j = pc.m_j(particles.m)
 
     if volume_elements == "standard":
-        rho = sub.reduce(particles.m[j] * w)
+        mw = np.multiply(m_j, w, out=pc.arena.take("den_tmp", (pc.n_pairs,)))
+        rho = pc.reduce(mw)
     else:
         rho_prev = particles.rho
         if np.any(rho_prev <= 0.0):
@@ -81,9 +89,12 @@ def compute_density(
                     "bootstrapped global density; run a standard pass first"
                 )
             # First call: bootstrap with a standard summation.
-            rho_prev = sub.reduce(particles.m[j] * w)
+            mw = np.multiply(m_j, w, out=pc.arena.take("den_tmp", (pc.n_pairs,)))
+            rho_prev = pc.reduce(mw)
         xmass = (particles.m / rho_prev) ** float(xmass_exponent)
-        kappa = sub.reduce(xmass[j] * w)
+        xw = pc.gather_scratch("den_tmp", xmass, "j")
+        np.multiply(xw, w, out=xw)
+        kappa = pc.reduce(xw)
         if np.any(kappa <= 0.0):
             raise ValueError(
                 "generalized volume elements: a particle has no kernel support "
@@ -102,26 +113,25 @@ def grad_h_terms(
     kernel: Kernel,
     box: Box | None = None,
     rows: tuple[int, int] | None = None,
+    ctx: PairContext | None = None,
 ) -> np.ndarray:
     """Grad-h correction factors ``Omega_i`` (Springel & Hernquist 2002).
 
     ``Omega_i = 1 + (h_i / (dim rho_i)) sum_j m_j dW/dh(r_ij, h_i)``.
     Pressure-gradient terms are divided by ``Omega_i`` to keep the scheme
     consistent when ``h`` varies in space.  ``rows`` restricts the
-    evaluation to a query-row slice (pool fan-out).
+    evaluation to a query-row slice (pool fan-out); ``ctx`` shares pair
+    geometry with the other phases.
     """
-    if rows is None:
-        lo, hi = 0, particles.n
-        sub = nlist
-    else:
-        lo, hi = rows
-        sub = nlist.row_slice(lo, hi)
-    i = sub.pair_i() + lo
-    j = sub.indices
-    _, r = sub.pair_geometry(particles.x, box, row_offset=lo)
+    pc = ctx if ctx is not None else PairContext()
+    pc.bind(particles.x, nlist, box, rows=rows)
+    lo, hi = pc.lo, pc.hi
     dim = particles.dim
-    dwdh = kernel.h_derivative(r, particles.h[i], dim)
-    s = sub.reduce(particles.m[j] * dwdh)
+    dwdh = pc.dwdh_i(kernel, particles.h, dim)
+    mdw = np.multiply(
+        pc.m_j(particles.m), dwdh, out=pc.arena.take("gh_tmp", (pc.n_pairs,))
+    )
+    s = pc.reduce(mdw)
     omega = 1.0 + particles.h[lo:hi] / (dim * particles.rho[lo:hi]) * s
     # Guard against pathological clustering driving Omega toward 0.
     return np.clip(omega, 0.1, 10.0)

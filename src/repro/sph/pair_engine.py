@@ -1,0 +1,467 @@
+"""Zero-redundancy pair engine: per-step geometry cache + scratch arena.
+
+Every pair-loop phase of Algorithm 1 (h adaptation, IAD moments, density,
+grad-h, div/curl, momentum/energy) walks the *same* CSR neighbour list,
+and before this module each of them independently re-expanded ``pair_i``,
+recomputed the min-image separations ``dx``/``r`` and allocated fresh
+multi-MB per-pair temporaries.  The :class:`PairContext` computes the
+pair geometry once per step and lets every phase borrow it, plus a
+memo of derived per-pair products (``q = r/h``, kernel values and
+gradients, ``v_ij``, gathered masses) shared between phases, all stored
+in a :class:`ScratchArena` of grow-only buffers reused across steps.
+
+Invalidation contract
+---------------------
+
+The engine never inspects array contents; it is driven by *tokens*:
+
+* ``geometry`` token — a process-unique integer minted by the driver
+  whenever the position epoch changes (i.e. after every drift).  The
+  cached ``(i, j, dx, r)`` block is keyed on
+  ``(geometry token, lo, hi, n_pairs)`` plus — in the default mode — the
+  *identity* of the neighbour-list object, on which the context keeps a
+  strong reference so the id can never be recycled.  The Verlet-skin
+  cache hands phases the same :class:`~repro.tree.neighborlist.NeighborList`
+  object across a whole step, which is exactly what makes the geometry
+  reusable from the h iteration through the force loop.
+* ``h`` / ``v`` tokens — minted when the smoothing-length / velocity
+  epochs change; they key the derived products (``q``, ``W``,
+  ``dW/dh``, gradients key on ``h``; ``v_ij`` keys on ``v``).
+
+Every geometry recompute clears the product memo outright (every product
+depends on the pair set), so tokens only need to capture *in-step*
+changes such as the h re-adaptation between the smoothing phase and the
+density phase.
+
+A context created with ``trust_tokens=True`` (the row-sliced worker path
+in :mod:`repro.parallel`) drops the identity requirement: workers
+rebuild their neighbour-list views from shared memory on every task, so
+object identity is meaningless there, while the parent-minted tokens
+still uniquely describe the state.  In exchange the trusted context
+copies everything it retains (``j`` in particular) out of shared memory
+into private buffers, because the parent republishes the arena between
+phases.
+
+Contexts without tokens (``set_tokens`` never called, or called with
+``None``) still deduplicate work *within* one bound geometry — the
+legacy per-phase behaviour — but never reuse anything across rebinds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..tree.box import Box
+from ..tree.neighborlist import NeighborList, reduce_pairs
+
+__all__ = [
+    "PairEngineStats",
+    "ScratchArena",
+    "PairContext",
+    "new_pair_token",
+]
+
+#: Process-global monotonic token source.  Tokens are minted by the
+#: driver (never by workers) and are unique for the process lifetime, so
+#: a token can never ambiguously refer to two different states — the
+#: property the trusted (worker) mode relies on.
+_TOKEN_COUNTER = itertools.count(1)
+
+
+def new_pair_token() -> int:
+    """Mint a fresh, process-unique epoch token."""
+    return next(_TOKEN_COUNTER)
+
+
+@dataclass
+class PairEngineStats:
+    """Counters of one context's cache behaviour (reported by profiling).
+
+    ``geometry_*`` count full ``(i, j, dx, r)`` evaluations;
+    ``product_*`` count derived per-pair arrays (kernel values,
+    gradients, ``v_ij``, ...); ``bytes_*`` count scratch-arena traffic —
+    ``bytes_allocated`` grows only while buffers are first sized (or
+    regrown), ``bytes_reused`` is per-pair storage served without
+    touching the allocator.
+    """
+
+    geometry_computes: int = 0
+    geometry_reuses: int = 0
+    product_computes: int = 0
+    product_reuses: int = 0
+    bytes_allocated: int = 0
+    bytes_reused: int = 0
+
+    _FIELDS = (
+        "geometry_computes",
+        "geometry_reuses",
+        "product_computes",
+        "product_reuses",
+        "bytes_allocated",
+        "bytes_reused",
+    )
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Current counter values (for later :meth:`delta`)."""
+        return tuple(getattr(self, f) for f in self._FIELDS)
+
+    def delta(self, since: Tuple[int, ...]) -> Dict[str, int]:
+        """Counter increments since a :meth:`snapshot` (picklable)."""
+        return {
+            f: getattr(self, f) - prev for f, prev in zip(self._FIELDS, since)
+        }
+
+    def merge(self, delta: Optional[Dict[str, int]]) -> None:
+        """Fold a :meth:`delta` dict (e.g. from a worker reply) in."""
+        if not delta:
+            return
+        for f in self._FIELDS:
+            setattr(self, f, getattr(self, f) + int(delta.get(f, 0)))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f: getattr(self, f) for f in self._FIELDS}
+
+
+class ScratchArena:
+    """Named, grow-only, shape-stable scratch buffers.
+
+    ``take(name, shape, dtype)`` returns a view of a persistent flat
+    buffer, (re)allocating only when the requested size first exceeds the
+    buffer's capacity — after warm-up every request is served without
+    touching the allocator.  Contents are *not* cleared: callers must
+    fully overwrite what they take (all engine writes go through
+    ``out=`` ufuncs or ``np.take(..., out=...)``).
+    """
+
+    def __init__(self, stats: Optional[PairEngineStats] = None) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.stats = stats if stats is not None else PairEngineStats()
+
+    def take(
+        self, name: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> np.ndarray:
+        size = int(np.prod(shape, dtype=np.int64))
+        dt = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.dtype != dt or buf.size < size:
+            buf = np.empty(max(size, 1), dtype=dt)
+            self._buffers[name] = buf
+            self.stats.bytes_allocated += buf.nbytes
+        else:
+            self.stats.bytes_reused += size * dt.itemsize
+        return buf[:size].reshape(shape)
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+class PairContext:
+    """Per-step pair-geometry cache + derived-product memo.
+
+    One context serves one stream of phases (the driver's serial path,
+    or one worker's row slice).  Use :meth:`set_tokens` to install the
+    current epoch tokens, then :meth:`bind` at the top of every phase;
+    the product accessors (:meth:`h_i`, :meth:`w_i`, :meth:`grad_i`,
+    :meth:`vel_ij`, ...) compute on first use and replay afterwards.
+    All results are read-only borrows: they live in the context's arena
+    and are overwritten by the next recompute.
+    """
+
+    def __init__(self, trust_tokens: bool = False) -> None:
+        self.trust_tokens = trust_tokens
+        self.stats = PairEngineStats()
+        self.arena = ScratchArena(self.stats)
+        self._tok_geom: Optional[int] = None
+        self._tok_h: Optional[int] = None
+        self._tok_v: Optional[int] = None
+        self._geom_key: Optional[tuple] = None
+        self._nlist_ref: Optional[NeighborList] = None
+        self._generation = 0
+        self._products: Dict[str, Tuple[tuple, np.ndarray]] = {}
+        # Bound geometry (valid after the first bind):
+        self.lo = 0
+        self.hi = 0
+        self.n_rows = 0
+        self.n_pairs = 0
+        self.local_i: Optional[np.ndarray] = None
+        self.i: Optional[np.ndarray] = None
+        self.j: Optional[np.ndarray] = None
+        self.dx: Optional[np.ndarray] = None
+        self.r: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Tokens and binding
+    # ------------------------------------------------------------------
+    def set_tokens(
+        self,
+        geometry: Optional[int] = None,
+        h: Optional[int] = None,
+        v: Optional[int] = None,
+    ) -> None:
+        """Install the current epoch tokens (``None`` = untracked)."""
+        self._tok_geom = geometry
+        self._tok_h = h
+        self._tok_v = v
+
+    def invalidate(self) -> None:
+        """Drop the cached geometry and every derived product."""
+        self._geom_key = None
+        self._nlist_ref = None
+        self._products.clear()
+        self._generation += 1
+
+    def bind(
+        self,
+        x: np.ndarray,
+        nlist: NeighborList,
+        box: Optional[Box] = None,
+        rows: Optional[Tuple[int, int]] = None,
+    ) -> "PairContext":
+        """Make ``(i, j, dx, r)`` for ``(x, nlist[, rows])`` current.
+
+        Reuses the cached geometry when the geometry token, the row
+        range, the pair count and (unless ``trust_tokens``) the
+        neighbour-list identity all match; otherwise recomputes into the
+        arena and clears the product memo.
+        """
+        lo, hi = rows if rows is not None else (0, nlist.n)
+        key = (self._tok_geom, lo, hi, nlist.n_pairs)
+        if (
+            self._tok_geom is not None
+            and key == self._geom_key
+            and (self.trust_tokens or self._nlist_ref is nlist)
+        ):
+            self.stats.geometry_reuses += 1
+            return self
+
+        sub = nlist.row_slice(lo, hi) if rows is not None else nlist
+        take = self.arena.take
+        local_i = sub.pair_i()
+        n_pairs = local_i.size
+        dim = x.shape[1]
+        if lo:
+            i = take("geom_i", (n_pairs,), np.int64)
+            np.add(local_i, lo, out=i)
+        else:
+            i = local_i
+        if self.trust_tokens:
+            # Worker mode: ``sub.indices`` views shared memory that the
+            # parent republishes between phases — keep a private copy.
+            j = take("geom_j", (n_pairs,), np.int64)
+            np.copyto(j, sub.indices)
+        else:
+            j = sub.indices
+        dx = take("geom_dx", (n_pairs, dim))
+        gather = take("geom_gather_vec", (n_pairs, dim))
+        np.take(x, i, axis=0, out=dx)
+        np.take(x, j, axis=0, out=gather)
+        np.subtract(dx, gather, out=dx)
+        if box is not None:
+            box.min_image(dx, out=dx)
+        r = take("geom_r", (n_pairs,))
+        np.einsum("ij,ij->i", dx, dx, out=r)
+        np.sqrt(r, out=r)
+
+        self.lo, self.hi = lo, hi
+        self.n_rows = hi - lo
+        self.n_pairs = n_pairs
+        self.local_i, self.i, self.j = local_i, i, j
+        self.dx, self.r = dx, r
+        self._geom_key = key if self._tok_geom is not None else None
+        self._nlist_ref = None if self.trust_tokens else nlist
+        self._products.clear()
+        self._generation += 1
+        self.stats.geometry_computes += 1
+        return self
+
+    # ------------------------------------------------------------------
+    # Product memo
+    # ------------------------------------------------------------------
+    def _pkey(self, token: Optional[int], *extra) -> tuple:
+        """Memo key: epoch token when tracked, bind generation otherwise."""
+        base = token if token is not None else ("gen", self._generation)
+        return (base,) + extra
+
+    def cached(
+        self, name: str, key: tuple, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """Return the memoized product ``name`` for ``key``, computing once."""
+        hit = self._products.get(name)
+        if hit is not None and hit[0] == key:
+            self.stats.product_reuses += 1
+            return hit[1]
+        arr = compute()
+        self._products[name] = (key, arr)
+        self.stats.product_computes += 1
+        return arr
+
+    def _gather(self, name: str, src: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        out = self.arena.take(name, idx.shape + src.shape[1:], src.dtype)
+        np.take(src, idx, axis=0, out=out)
+        return out
+
+    def gather_scratch(
+        self, name: str, src: np.ndarray, side: str
+    ) -> np.ndarray:
+        """Uncached gather of ``src`` along side ``"i"``/``"j"`` into scratch.
+
+        For fields whose epochs the engine does not track (``rho``,
+        ``p``, ``cs``, ...): storage is reused but values are always
+        re-gathered.
+        """
+        idx = self.i if side == "i" else self.j
+        return self._gather(name, src, idx)
+
+    # -- tracked per-pair products -------------------------------------
+    def h_i(self, h: np.ndarray) -> np.ndarray:
+        return self.cached(
+            "h_i", self._pkey(self._tok_h), lambda: self._gather("h_i", h, self.i)
+        )
+
+    def h_j(self, h: np.ndarray) -> np.ndarray:
+        return self.cached(
+            "h_j", self._pkey(self._tok_h), lambda: self._gather("h_j", h, self.j)
+        )
+
+    def m_j(self, m: np.ndarray) -> np.ndarray:
+        # Masses are immutable for a particle set; the memo is cleared on
+        # every geometry rebind, which covers particle-set changes too.
+        return self.cached(
+            "m_j", self._pkey(self._tok_geom), lambda: self._gather("m_j", m, self.j)
+        )
+
+    def vel_ij(self, v: np.ndarray) -> np.ndarray:
+        def compute() -> np.ndarray:
+            out = self._gather("v_ij", v, self.i)
+            vj = self._gather("geom_gather_vec", v, self.j)
+            np.subtract(out, vj, out=out)
+            return out
+
+        return self.cached("v_ij", self._pkey(self._tok_v), compute)
+
+    def q_i(self, h: np.ndarray) -> np.ndarray:
+        def compute() -> np.ndarray:
+            out = self.arena.take("q_i", (self.n_pairs,))
+            np.divide(self.r, self.h_i(h), out=out)
+            return out
+
+        return self.cached("q_i", self._pkey(self._tok_h), compute)
+
+    def q_j(self, h: np.ndarray) -> np.ndarray:
+        def compute() -> np.ndarray:
+            out = self.arena.take("q_j", (self.n_pairs,))
+            np.divide(self.r, self.h_j(h), out=out)
+            return out
+
+        return self.cached("q_j", self._pkey(self._tok_h), compute)
+
+    def _kernel_product(
+        self, name: str, kernel, h: np.ndarray, dim: int, compute
+    ) -> np.ndarray:
+        key = self._pkey(self._tok_h, kernel.cache_key(), dim)
+        return self.cached(name, key, compute)
+
+    def w_i(self, kernel, h: np.ndarray, dim: int) -> np.ndarray:
+        """Kernel values ``W(r, h_i)`` (bitwise ``kernel.value(r, h[i])``)."""
+        return self._kernel_product(
+            "w_i",
+            kernel,
+            h,
+            dim,
+            lambda: kernel.value_from_q(
+                self.q_i(h), self.h_i(h), dim, out=self.arena.take("w_i", (self.n_pairs,))
+            ),
+        )
+
+    def w_j(self, kernel, h: np.ndarray, dim: int) -> np.ndarray:
+        return self._kernel_product(
+            "w_j",
+            kernel,
+            h,
+            dim,
+            lambda: kernel.value_from_q(
+                self.q_j(h), self.h_j(h), dim, out=self.arena.take("w_j", (self.n_pairs,))
+            ),
+        )
+
+    def dwdh_i(self, kernel, h: np.ndarray, dim: int) -> np.ndarray:
+        """``dW/dh(r, h_i)`` (bitwise ``kernel.h_derivative(r, h[i])``)."""
+        return self._kernel_product(
+            "dwdh_i",
+            kernel,
+            h,
+            dim,
+            lambda: kernel.h_derivative_from_q(
+                self.q_i(h),
+                self.h_i(h),
+                dim,
+                out=self.arena.take("dwdh_i", (self.n_pairs,)),
+            ),
+        )
+
+    def _grad(self, name: str, kernel, q, hg, dim: int) -> np.ndarray:
+        out = self.arena.take(name, (self.n_pairs, dim))
+        scratch = self.arena.take("grad_scratch", (self.n_pairs,))
+        return kernel.gradient_from_q(
+            self.dx, self.r, q, hg, dim, out=out, scratch=scratch
+        )
+
+    def grad_i(self, kernel, h: np.ndarray, dim: int) -> np.ndarray:
+        """``grad_i W(dx, r, h_i)`` (bitwise ``kernel.gradient(dx, r, h[i])``)."""
+        return self._kernel_product(
+            "grad_i",
+            kernel,
+            h,
+            dim,
+            lambda: self._grad("grad_i", kernel, self.q_i(h), self.h_i(h), dim),
+        )
+
+    def grad_j(self, kernel, h: np.ndarray, dim: int) -> np.ndarray:
+        return self._kernel_product(
+            "grad_j",
+            kernel,
+            h,
+            dim,
+            lambda: self._grad("grad_j", kernel, self.q_j(h), self.h_j(h), dim),
+        )
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def _reduce_index(self, k: int) -> np.ndarray:
+        """Flattened bincount index for ``k``-column reductions (memoized)."""
+
+        def compute() -> np.ndarray:
+            idx = self.arena.take(f"reduce_index_{k}", (self.n_pairs, k), np.int64)
+            np.multiply(self.local_i[:, None], k, out=idx)
+            np.add(idx, np.arange(k, dtype=np.int64), out=idx)
+            return idx
+
+        return self.cached(f"reduce_index_{k}", self._pkey(self._tok_geom, k), compute)
+
+    def reduce(self, values: np.ndarray) -> np.ndarray:
+        """Per-row sums of per-pair ``values`` (bitwise ``NeighborList.reduce``)."""
+        values = np.asarray(values)
+        if values.ndim == 1:
+            return reduce_pairs(self.local_i, self.n_rows, values)
+        k = int(np.prod(values.shape[1:]))
+        return reduce_pairs(
+            self.local_i,
+            self.n_rows,
+            values,
+            flat_index=self._reduce_index(k).reshape(-1),
+        )
+
+    def reduce_into(self, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """:meth:`reduce` copied into a preallocated ``out``."""
+        np.copyto(out, self.reduce(values))
+        return out

@@ -62,6 +62,7 @@ def adapt_smoothing_lengths(
     config: SmoothingConfig = SmoothingConfig(),
     search: Callable[..., NeighborList] | None = None,
     cache: VerletNeighborCache | None = None,
+    ctx=None,
 ) -> NeighborList:
     """Iterate h and the neighbour search until counts hit the target band.
 
@@ -78,6 +79,11 @@ def adapt_smoothing_lengths(
     particle out-drifts the skin.  The neighbour *counts* driving the h
     iteration are unaffected: they are always re-filtered to the true
     gather support ``r <= 2 h_i``.
+
+    ``ctx`` is an optional :class:`~repro.sph.pair_engine.PairContext`:
+    each sweep's pair geometry is then computed through (and left primed
+    in) the context, so the SPH phases that follow reuse the final
+    list's ``(i, j, dx, r)`` block instead of recomputing it.
     """
     if search is None:
         search = lambda x, radii, box, mode: cell_grid_search(  # noqa: E731
@@ -89,8 +95,12 @@ def adapt_smoothing_lengths(
     for _ in range(config.max_iterations):
         # Count only gather neighbours (r <= 2 h_i): recompute from the
         # symmetric list so no extra search is needed.
-        i, _ = nlist.pairs()
-        _, r = nlist.pair_geometry(particles.x, box)
+        if ctx is not None:
+            pc = ctx.bind(particles.x, nlist, box)
+            i, r = pc.i, pc.r
+        else:
+            i, _ = nlist.pairs()
+            _, r = nlist.pair_geometry(particles.x, box)
         within = r <= 2.0 * particles.h[i]
         counts = np.bincount(i[within], minlength=particles.n)
         rel_err = np.abs(counts - config.n_target) / config.n_target
@@ -98,9 +108,13 @@ def adapt_smoothing_lengths(
             break
         h_new = update_smoothing_lengths(particles.h, counts, config.n_target, dim)
         particles.h[:] = np.clip(h_new, config.h_min, config.h_max)
+        particles.bump_epoch("h")
         nlist = search(particles.x, factor * particles.h, box, "symmetric")
     if cache is not None:
         cache.store(nlist, particles.x, particles.h)
+    if ctx is not None:
+        # Prime the final list so downstream phases bind as a pure reuse.
+        ctx.bind(particles.x, nlist, box)
     return nlist
 
 
@@ -110,6 +124,7 @@ def adapt_from_cached_list(
     box: Box | None = None,
     config: SmoothingConfig = SmoothingConfig(),
     cache: VerletNeighborCache | None = None,
+    ctx=None,
 ) -> NeighborList | None:
     """Run the h iteration off a cached padded list — no fresh search.
 
@@ -129,12 +144,17 @@ def adapt_from_cached_list(
     if cache is None:
         raise ValueError("adapt_from_cached_list requires the owning cache")
     dim = particles.dim
-    i, _ = nlist.pairs()
-    _, r = nlist.pair_geometry(particles.x, box)
+    if ctx is not None:
+        pc = ctx.bind(particles.x, nlist, box)
+        i, r = pc.i, pc.r
+    else:
+        i, _ = nlist.pairs()
+        _, r = nlist.pair_geometry(particles.x, box)
     h_entry = particles.h.copy()
 
     def bail() -> None:
         particles.h[:] = h_entry
+        particles.bump_epoch("h")
         cache.stats.hits -= 1
         cache.stats.misses_h_change += 1
         cache.invalidate()
@@ -150,6 +170,7 @@ def adapt_from_cached_list(
             break
         h_new = update_smoothing_lengths(particles.h, counts, config.n_target, dim)
         particles.h[:] = np.clip(h_new, config.h_min, config.h_max)
+        particles.bump_epoch("h")
     if not cache.covers(particles.h):
         bail()
         return None

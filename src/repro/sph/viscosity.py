@@ -50,12 +50,24 @@ def pairwise_viscosity(
     cs_j: np.ndarray,
     balsara_i: np.ndarray | None = None,
     balsara_j: np.ndarray | None = None,
+    *,
+    vdotr: np.ndarray | None = None,
+    hbar: np.ndarray | None = None,
+    mu: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Per-pair viscous pressure ``Pi_ij`` (zero for receding pairs)."""
-    vdotr = np.einsum("kd,kd->k", v_ij, dx)
+    """Per-pair viscous pressure ``Pi_ij`` (zero for receding pairs).
+
+    ``vdotr``/``hbar``/``mu`` may be supplied precomputed (the force
+    loop shares them with its CFL diagnostic); they must equal the
+    expressions below, which is what the default ``None`` computes.
+    """
+    if vdotr is None:
+        vdotr = np.einsum("kd,kd->k", v_ij, dx)
     approaching = vdotr < 0.0
-    hbar = 0.5 * (h_i + h_j)
-    mu = hbar * vdotr / (r * r + params.eta**2 * hbar * hbar)
+    if hbar is None:
+        hbar = 0.5 * (h_i + h_j)
+    if mu is None:
+        mu = hbar * vdotr / (r * r + params.eta**2 * hbar * hbar)
     cbar = 0.5 * (cs_i + cs_j)
     rhobar = 0.5 * (rho_i + rho_j)
     pi = (-params.alpha * cbar * mu + params.beta * mu * mu) / rhobar

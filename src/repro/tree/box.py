@@ -75,13 +75,24 @@ class Box:
             )
         return x
 
-    def min_image(self, dx: np.ndarray) -> np.ndarray:
-        """Minimum-image separation vectors for periodic axes (in place safe)."""
-        dx = np.array(dx, dtype=np.float64, copy=True)
+    def min_image(
+        self, dx: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Minimum-image separation vectors for periodic axes.
+
+        Without ``out`` the input is copied (in place safe); with
+        ``out`` the correction is applied there — pass ``out=dx`` to fold
+        a preallocated separation buffer without a fresh temporary.  The
+        per-axis arithmetic is identical either way.
+        """
+        if out is None:
+            out = np.array(dx, dtype=np.float64, copy=True)
+        elif out is not dx:
+            np.copyto(out, dx)
         span = self.span
         for axis in np.nonzero(self.periodic)[0]:
-            dx[..., axis] -= span[axis] * np.round(dx[..., axis] / span[axis])
-        return dx
+            out[..., axis] -= span[axis] * np.round(out[..., axis] / span[axis])
+        return out
 
     # ------------------------------------------------------------------
     @classmethod

@@ -19,10 +19,42 @@ from .box import Box
 
 __all__ = [
     "NeighborList",
+    "reduce_pairs",
     "balanced_row_slices",
     "VerletCacheStats",
     "VerletNeighborCache",
 ]
+
+
+def reduce_pairs(
+    pair_i: np.ndarray,
+    n_rows: int,
+    values: np.ndarray,
+    flat_index: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sum per-pair ``values`` into ``n_rows`` per-particle bins.
+
+    The 2-D/N-D case runs as a *single* flattened ``np.bincount`` over
+    ``pair_i * k + column`` instead of one bincount per column: for every
+    output bin the contributing pairs are visited in the same ascending
+    pair order either way, so the accumulation order — and therefore the
+    floating-point sum — is bitwise identical to the per-column loop.
+    ``flat_index`` optionally supplies the precomputed flattened index
+    (it depends only on ``pair_i`` and the column count, so callers that
+    reduce repeatedly can cache it).
+    """
+    values = np.asarray(values)
+    if values.ndim == 1:
+        return np.bincount(pair_i, weights=values, minlength=n_rows)
+    k = int(np.prod(values.shape[1:]))
+    if flat_index is None:
+        flat_index = (
+            pair_i[:, None] * k + np.arange(k, dtype=np.int64)
+        ).ravel()
+    flat = np.bincount(
+        flat_index, weights=values.reshape(-1), minlength=n_rows * k
+    )
+    return flat.reshape((n_rows,) + values.shape[1:])
 
 
 @dataclass(frozen=True)
@@ -67,8 +99,18 @@ class NeighborList:
         return np.diff(self.offsets)
 
     def pair_i(self) -> np.ndarray:
-        """Query index ``i`` for every pair (aligned with ``indices``)."""
-        return np.repeat(np.arange(self.n, dtype=np.int64), self.counts())
+        """Query index ``i`` for every pair (aligned with ``indices``).
+
+        Computed once and memoized on the (frozen) instance: the CSR
+        arrays are immutable, so the ``np.repeat`` expansion never
+        changes and repeated callers share one array.  Treat the result
+        as read-only.
+        """
+        cached = self.__dict__.get("_pair_i")
+        if cached is None:
+            cached = np.repeat(np.arange(self.n, dtype=np.int64), self.counts())
+            object.__setattr__(self, "_pair_i", cached)
+        return cached
 
     def pairs(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(i, j)`` index arrays, one entry per interaction pair."""
@@ -123,12 +165,23 @@ class NeighborList:
             raise ValueError(
                 f"values has leading size {values.shape[0]}, expected {self.n_pairs}"
             )
-        i = self.pair_i()
-        if values.ndim == 1:
-            return np.bincount(i, weights=values, minlength=self.n)
-        out = np.empty((self.n,) + values.shape[1:], dtype=np.float64)
-        for col in range(values.shape[1]):
-            out[:, col] = np.bincount(i, weights=values[:, col], minlength=self.n)
+        return reduce_pairs(self.pair_i(), self.n, values)
+
+    def reduce_into(self, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """:meth:`reduce` writing the result into a preallocated ``out``.
+
+        ``np.bincount`` owns its accumulator, so the summation itself is
+        identical to :meth:`reduce`; only the final per-particle result
+        (small — one entry per query row, not per pair) is copied into
+        ``out``, letting steady-state callers keep a stable output
+        buffer.
+        """
+        result = self.reduce(values)
+        if out.shape != result.shape:
+            raise ValueError(
+                f"out has shape {out.shape}, expected {result.shape}"
+            )
+        np.copyto(out, result)
         return out
 
 
