@@ -93,3 +93,72 @@ def test_pop_metrics_benchmark(benchmark, evrard_workload):
 
     eff = benchmark(run)
     assert 0.0 < eff <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Measured-span POP (repro.observability): the same hierarchy computed
+# from real executions and from replayed timelines, not just the model.
+# ----------------------------------------------------------------------
+def test_pop_from_events_agrees_with_modeled_metrics(evrard_workload):
+    """`pop_from_events` on a modeled trace matches `compute_pop_metrics`.
+
+    The measured-span path and the modeled path must tell the same story
+    on the simulated-cluster traces (within 5%), so POP numbers from
+    real pool runs are comparable with the paper-scale modeled sweeps.
+    """
+    from repro.observability import pop_from_events
+
+    kappa = calibrate_kappa(SPHYNX, evrard_workload)
+    for cores in (24, 96):
+        tracer = Tracer()
+        model = ClusterModel(
+            evrard_workload, SPHYNX, PIZ_DAINT, cores, kappa=kappa,
+            tracer=tracer,
+        )
+        model.simulate_step()
+        modeled = compute_pop_metrics(tracer)
+        measured = pop_from_events(tracer)
+        assert measured.n_ranks == modeled.n_ranks
+        for attr in (
+            "load_balance",
+            "communication_efficiency",
+            "parallel_efficiency",
+            "global_efficiency",
+        ):
+            a, b = getattr(measured, attr), getattr(modeled, attr)
+            assert abs(a - b) <= 0.05 * abs(b), (cores, attr, a, b)
+
+
+def test_pop_from_measured_pool_run(report):
+    """POP hierarchy of a real 4-worker pool execution's merged spans."""
+    from repro.core.config import RunConfig, SimulationConfig
+    from repro.core.simulation import Simulation
+    from repro.ics.square_patch import SquarePatchConfig, make_square_patch
+    from repro.observability import pop_from_events
+    from repro.parallel import ExecConfig
+    from repro.timestepping.steppers import TimestepParams
+
+    particles, box, eos = make_square_patch(
+        SquarePatchConfig(side=14, layers=8)
+    )
+    config = SimulationConfig().with_(
+        n_neighbors=30,
+        timestep_params=TimestepParams(use_energy_criterion=False),
+    )
+    with Simulation(
+        particles, box, eos, config=config,
+        run_config=RunConfig(exec=ExecConfig(workers=4)),
+    ) as sim:
+        sim.run(n_steps=3)
+        m = pop_from_events(sim.tracer)
+
+    assert m.valid
+    assert m.n_ranks == 5  # driver row + 4 worker-slot rows
+    assert 0.0 < m.load_balance <= 1.0 + 1e-9
+    assert 0.0 < m.communication_efficiency <= 1.0 + 1e-9
+    assert 0.0 < m.parallel_efficiency <= 1.0 + 1e-9
+    report(
+        "pop_measured_pool",
+        "POP metrics from a measured 4-worker pool run "
+        f"(square patch, N={sim.particles.n}, 3 steps)\n  " + m.row(),
+    )

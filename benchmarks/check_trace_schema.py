@@ -1,0 +1,96 @@
+"""Chrome trace_event schema gate for exported timelines.
+
+CI's observability job runs a traced square-patch demo
+(``run_observability_demo.py``) and feeds the exported JSON through this
+checker; any schema violation fails the build.  The checks encode what
+Perfetto / chrome://tracing actually require to render the file: the
+``traceEvents`` envelope, complete ("X") events with microsecond
+``ts``/``dur``, and consistent ``pid``/``tid`` rows with ``M`` metadata
+names.
+
+Importable (``validate_chrome_trace``) and runnable::
+
+    python benchmarks/check_trace_schema.py trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+X_REQUIRED = {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+
+    rows = set()
+    named_rows = set()
+    n_x = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph == "X":
+            n_x += 1
+            missing = X_REQUIRED - set(e)
+            if missing:
+                errors.append(f"event {i}: missing keys {sorted(missing)}")
+                continue
+            if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+                errors.append(f"event {i}: bad ts {e['ts']!r}")
+            if not isinstance(e["dur"], (int, float)) or e["dur"] < 0:
+                errors.append(f"event {i}: bad dur {e['dur']!r}")
+            if not isinstance(e["args"], dict):
+                errors.append(f"event {i}: args must be an object")
+            rows.add((e.get("pid"), e.get("tid")))
+        elif ph == "M":
+            if e.get("name") == "thread_name":
+                label = e.get("args", {}).get("name")
+                if not label:
+                    errors.append(f"event {i}: thread_name without args.name")
+                named_rows.add((e.get("pid"), e.get("tid")))
+        else:
+            errors.append(f"event {i}: unexpected phase type {ph!r}")
+    if n_x == 0:
+        errors.append("no complete ('X') events")
+    unnamed = rows - named_rows
+    if unnamed:
+        errors.append(f"rows without thread_name metadata: {sorted(unnamed)}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_trace_schema.py <trace.json>", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL {path}: unreadable ({exc})", file=sys.stderr)
+        return 1
+    errors = validate_chrome_trace(doc)
+    if errors:
+        for err in errors:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+        return 1
+    n = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+    rows = {(e.get("pid"), e.get("tid")) for e in doc["traceEvents"]}
+    print(f"OK {path}: {n} spans across {len(rows)} timeline rows")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

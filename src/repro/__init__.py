@@ -28,6 +28,7 @@ from .core import (
     ConservationState,
     ParticleSystem,
     Phase,
+    RunConfig,
     Simulation,
     SimulationConfig,
     StepStats,
@@ -35,6 +36,7 @@ from .core import (
     measure_conservation,
     relative_drift,
 )
+from .observability import ObservabilityConfig, RunReport
 from .ics import (
     EvrardConfig,
     SquarePatchConfig,
@@ -52,6 +54,9 @@ __all__ = [
     "ParticleSystem",
     "Simulation",
     "SimulationConfig",
+    "RunConfig",
+    "ObservabilityConfig",
+    "RunReport",
     "StepStats",
     "Phase",
     "ConservationState",

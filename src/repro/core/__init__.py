@@ -6,7 +6,7 @@ configuration of Tables 1-4, the parent-code presets, the phase-labelled
 simulation loop of Algorithm 1 and the conservation ledger.
 """
 
-from .config import SimulationConfig
+from .config import RunConfig, SimulationConfig
 from .conservation import ConservationState, measure_conservation, relative_drift
 from .particles import ParticleSystem
 from .phases import Phase
@@ -16,6 +16,7 @@ from .simulation import Simulation, StepStats
 __all__ = [
     "ParticleSystem",
     "SimulationConfig",
+    "RunConfig",
     "Simulation",
     "StepStats",
     "Phase",

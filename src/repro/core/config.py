@@ -12,10 +12,15 @@ mini-app outlook row.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from ..observability.config import ObservabilityConfig
 from ..sph.viscosity import ViscosityParams
 from ..timestepping.criteria import TimestepParams
+
+if TYPE_CHECKING:  # avoid the core <-> parallel/resilience import cycles
+    from ..parallel.executor import ExecConfig
+    from ..resilience.checkpoint import ResilienceConfig
 
 __all__ = [
     "KERNEL_CHOICES",
@@ -27,6 +32,7 @@ __all__ = [
     "DECOMPOSITION_CHOICES",
     "LOAD_BALANCING_CHOICES",
     "SimulationConfig",
+    "RunConfig",
 ]
 
 KERNEL_CHOICES = (
@@ -128,5 +134,36 @@ class SimulationConfig:
         return None if self.gravity is None else _GRAVITY_ORDER[self.gravity]
 
     def with_(self, **kwargs) -> "SimulationConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How one :class:`~repro.core.simulation.Simulation` executes.
+
+    The execution-environment counterpart to :class:`SimulationConfig`'s
+    physics axes, aggregating the three runtime subsystems that used to
+    arrive as separate driver kwargs:
+
+    exec:
+        :class:`~repro.parallel.executor.ExecConfig` — process pool +
+        Verlet cache + pair engine.  ``None`` keeps the serial path.
+    resilience:
+        :class:`~repro.resilience.checkpoint.ResilienceConfig` — rolling
+        checkpoints and autoresume.  ``None`` disables checkpointing.
+    observability:
+        :class:`~repro.observability.config.ObservabilityConfig` — span
+        tracing and exporters.  On by default; ``enabled=False`` swaps in
+        the no-op tracer.
+    """
+
+    exec: Optional["ExecConfig"] = None
+    resilience: Optional["ResilienceConfig"] = None
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
+
+    def with_(self, **kwargs) -> "RunConfig":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **kwargs)

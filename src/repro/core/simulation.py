@@ -25,6 +25,8 @@ import numpy as np
 from ..gradients.iad import compute_iad_matrices
 from ..gravity.barnes_hut import barnes_hut_gravity
 from ..kernels.registry import make_kernel
+from ..observability.deprecation import warn_once
+from ..observability.tracer import make_tracer
 from ..profiling.trace import State, Tracer
 from ..sph.density import compute_density
 from ..sph.eos import EquationOfState
@@ -43,12 +45,13 @@ from ..timestepping.steppers import (
 )
 from ..tree.box import Box
 from ..tree.octree import Octree
-from .config import SimulationConfig
+from .config import RunConfig, SimulationConfig
 from .conservation import ConservationState, measure_conservation
 from .particles import ParticleSystem
 from .phases import Phase
 
 if TYPE_CHECKING:  # avoid the core <-> parallel import cycle at runtime
+    from ..observability.report import RunReport
     from ..parallel.executor import ExecConfig
     from ..resilience.checkpoint import ResilienceConfig
 
@@ -92,18 +95,22 @@ class Simulation:
         Gravitational constant (1 in Evrard units); ignored when the
         config has gravity disabled.
     tracer:
-        Optional shared tracer; a private one is created by default.
+        Optional shared tracer; by default a private one is created from
+        ``run_config.observability`` (a recording
+        :class:`~repro.observability.tracer.SpanTracer` when enabled, the
+        no-op :class:`~repro.observability.tracer.NullTracer` otherwise).
+    run_config:
+        :class:`~repro.core.config.RunConfig` aggregating the execution
+        environment: process pool (``exec``), checkpointing
+        (``resilience``) and span tracing (``observability``).  ``None``
+        means the all-defaults config — serial, checkpoint-free, tracing
+        on.  Prefer :meth:`configure` over building one by hand.
     exec_config:
-        Optional :class:`~repro.parallel.executor.ExecConfig` enabling the
-        shared-memory process pool (``workers >= 1``) and/or the
-        Verlet-skin neighbour-list cache.  ``None`` (default) keeps the
-        fully serial, cache-free path.
+        Deprecated — pass ``run_config=RunConfig(exec=...)`` or call
+        ``configure(exec=...)`` instead.
     resilience:
-        Optional :class:`~repro.resilience.checkpoint.ResilienceConfig`:
-        the step loop writes atomic rolling checkpoints every K steps
-        (K fixed or Young-auto) and ``run()`` restores the newest valid
-        one first when ``autoresume`` is set.  ``None`` (default) keeps
-        the driver checkpoint-free.
+        Deprecated — pass ``run_config=RunConfig(resilience=...)`` or
+        call ``configure(resilience=...)`` instead.
     """
 
     particles: ParticleSystem
@@ -111,12 +118,39 @@ class Simulation:
     eos: EquationOfState
     config: SimulationConfig = field(default_factory=SimulationConfig)
     g_const: float = 1.0
-    tracer: Tracer = field(default_factory=Tracer)
+    tracer: Optional[Tracer] = None
     rank: int = 0
     exec_config: Optional["ExecConfig"] = None
     resilience: Optional["ResilienceConfig"] = None
+    run_config: Optional[RunConfig] = None
 
     def __post_init__(self) -> None:
+        if self.run_config is not None and (
+            self.exec_config is not None or self.resilience is not None
+        ):
+            raise ValueError(
+                "pass either run_config or the deprecated "
+                "exec_config/resilience kwargs, not both"
+            )
+        if self.run_config is None:
+            if self.exec_config is not None:
+                warn_once(
+                    "Simulation.exec_config",
+                    "Simulation(exec_config=...) is deprecated; use "
+                    "run_config=RunConfig(exec=...) or "
+                    "Simulation.configure(exec=...)",
+                )
+            if self.resilience is not None:
+                warn_once(
+                    "Simulation.resilience",
+                    "Simulation(resilience=...) is deprecated; use "
+                    "run_config=RunConfig(resilience=...) or "
+                    "Simulation.configure(resilience=...)",
+                )
+            self.run_config = RunConfig(
+                exec=self.exec_config, resilience=self.resilience
+            )
+        self._owns_tracer = self.tracer is None
         self.kernel = make_kernel(self.config.kernel)
         self.time = 0.0
         self.step_index = 0
@@ -133,34 +167,8 @@ class Simulation:
             self.stepper = AdaptiveTimestep(self.config.timestep_params)
         else:
             self.stepper = IndividualTimesteps(self.config.timestep_params)
-        # Pair engine: one persistent serial-path context plus the epoch
-        # tokens shipped to pool workers.  ``exec_config.pair_engine=False``
-        # turns it off; the SPH kernels then build ephemeral contexts per
-        # call (the pre-engine cost model, bitwise-identical results).
-        self._pair_ctx: Optional[PairContext] = None
-        if self.exec_config is None or self.exec_config.pair_engine:
-            self._pair_ctx = PairContext()
-        self._pair_tokens: tuple = (None, None, None)
-        self._pair_state_obj: Optional[ParticleSystem] = None
-        self._pair_state_epochs: tuple = ()
         self._engine = None
-        self._ncache = None
-        if self.exec_config is not None:
-            if self.exec_config.neighbor_cache:
-                from ..tree.neighborlist import VerletNeighborCache
-
-                self._ncache = VerletNeighborCache(skin=self.exec_config.cache_skin)
-            if self.exec_config.parallel_enabled:
-                from ..parallel.executor import ParallelEngine
-
-                self._engine = ParallelEngine(
-                    self.exec_config, tracer=self.tracer, rank=self.rank
-                )
-        self.checkpoint_manager = None
-        if self.resilience is not None:
-            from ..resilience.checkpoint import CheckpointManager
-
-            self.checkpoint_manager = CheckpointManager(self.resilience)
+        self._apply_run_config()
         self.initial_conservation: Optional[ConservationState] = None
         # Table 4 "Error Detection": with error_detection enabled the
         # driver runs the SDC monitor and the ABFT force guard each step
@@ -174,6 +182,88 @@ class Simulation:
 
             self._sdc_monitor = SdcMonitor()
             self._abft_guard = AbftForceGuard()
+
+    # ------------------------------------------------------------------
+    # Execution-environment wiring (RunConfig -> subsystems)
+    # ------------------------------------------------------------------
+    def _apply_run_config(self) -> None:
+        """(Re)wire tracer, pair engine, cache, pool and checkpointing.
+
+        Idempotent against the current :attr:`run_config`; an existing
+        pool is released before the replacement spins up.
+        """
+        run = self.run_config
+        # Legacy mirrors: reading sim.exec_config / sim.resilience stays
+        # valid (only passing them as constructor kwargs is deprecated).
+        self.exec_config = run.exec
+        self.resilience = run.resilience
+        if self._owns_tracer:
+            self.tracer = make_tracer(run.observability)
+        # Pair engine: one persistent serial-path context plus the epoch
+        # tokens shipped to pool workers.  ``exec.pair_engine=False``
+        # turns it off; the SPH kernels then build ephemeral contexts per
+        # call (the pre-engine cost model, bitwise-identical results).
+        self._pair_ctx: Optional[PairContext] = None
+        if run.exec is None or run.exec.pair_engine:
+            self._pair_ctx = PairContext()
+        self._pair_tokens: tuple = (None, None, None)
+        self._pair_state_obj: Optional[ParticleSystem] = None
+        self._pair_state_epochs: tuple = ()
+        if self._engine is not None:
+            self._engine.close()
+        self._engine = None
+        self._ncache = None
+        if run.exec is not None:
+            if run.exec.neighbor_cache:
+                from ..tree.neighborlist import VerletNeighborCache
+
+                self._ncache = VerletNeighborCache(skin=run.exec.cache_skin)
+            if run.exec.parallel_enabled:
+                from ..parallel.executor import ParallelEngine
+
+                self._engine = ParallelEngine(
+                    run.exec,
+                    tracer=self.tracer,
+                    rank=self.rank,
+                    worker_spans=run.observability.worker_spans,
+                )
+        self.checkpoint_manager = None
+        if run.resilience is not None:
+            from ..resilience.checkpoint import CheckpointManager
+
+            self.checkpoint_manager = CheckpointManager(run.resilience)
+
+    def configure(
+        self,
+        *,
+        exec: Optional["ExecConfig"] = None,
+        resilience: Optional["ResilienceConfig"] = None,
+        observability=None,
+    ) -> "Simulation":
+        """Swap parts of the execution environment before the first step.
+
+        Each non-``None`` argument replaces that section of
+        :attr:`run_config` and the affected subsystems are rewired;
+        omitted sections keep their current setting.  Returns ``self``
+        so construction chains::
+
+            sim = Simulation(p, box, eos).configure(exec=ExecConfig(workers=4))
+        """
+        if self.step_index != 0 or self.history:
+            raise RuntimeError(
+                "configure() must run before the first step "
+                f"(already at step {self.step_index})"
+            )
+        run = self.run_config
+        if exec is not None:
+            run = run.with_(exec=exec)
+        if resilience is not None:
+            run = run.with_(resilience=resilience)
+        if observability is not None:
+            run = run.with_(observability=observability)
+        self.run_config = run
+        self._apply_run_config()
+        return self
 
     # ------------------------------------------------------------------
     # Pair-engine token bookkeeping
@@ -219,8 +309,7 @@ class Simulation:
         """Token tuple for pool workers (None = engine off)."""
         return self._pair_tokens if self._pair_ctx is not None else None
 
-    @property
-    def pair_engine_stats(self) -> PairEngineStats:
+    def _pair_stats_total(self) -> PairEngineStats:
         """Combined serial + worker pair-engine counters (zeros when off)."""
         total = PairEngineStats()
         if self._pair_ctx is not None:
@@ -228,6 +317,16 @@ class Simulation:
         if self._engine is not None:
             total.merge(self._engine.pair_stats.as_dict())
         return total
+
+    @property
+    def pair_engine_stats(self) -> PairEngineStats:
+        """Deprecated — use ``report().pair_engine``."""
+        warn_once(
+            "Simulation.pair_engine_stats",
+            "Simulation.pair_engine_stats is deprecated; use "
+            "Simulation.report().pair_engine",
+        )
+        return self._pair_stats_total()
 
     # ------------------------------------------------------------------
     # Rate evaluation: Algorithm 1 steps 1-4 (phases A-I)
@@ -423,9 +522,14 @@ class Simulation:
     # One leapfrog step (Algorithm 1 steps 5-6 around the rate evaluation)
     # ------------------------------------------------------------------
     def step(self) -> StepStats:
+        """One leapfrog step, wrapped in a whole-step container span."""
+        with self.tracer.step_span(self.step_index, self.rank):
+            return self._step_impl()
+
+    def _step_impl(self) -> StepStats:
         p = self.particles
         tr = self.tracer
-        pair_snap = self.pair_engine_stats.snapshot()
+        pair_snap = self._pair_stats_total().snapshot()
         if self._engine is not None:
             # Chaos events and recovery logs are keyed by driver step.
             self._engine.set_step(self.step_index)
@@ -463,7 +567,7 @@ class Simulation:
                 self.sdc_findings.extend(
                     f"step {self.step_index}: {f}" for f in findings
                 )
-        pair_delta = self.pair_engine_stats.delta(pair_snap)
+        pair_delta = self._pair_stats_total().delta(pair_snap)
         stats = StepStats(
             index=self.step_index,
             time=self.time,
@@ -533,20 +637,114 @@ class Simulation:
         return True
 
     # ------------------------------------------------------------------
+    # Consolidated reporting
+    # ------------------------------------------------------------------
+    def _ncache_stats_dict(self) -> Optional[dict]:
+        if self._ncache is None:
+            return None
+        s = self._ncache.stats
+        return {
+            "builds": s.builds,
+            "hits": s.hits,
+            "misses_displacement": s.misses_displacement,
+            "misses_h_change": s.misses_h_change,
+            "misses_shape": s.misses_shape,
+            "hit_rate": s.hit_rate,
+        }
+
+    def _recovery_stats_dict(self) -> Optional[dict]:
+        if self._engine is None:
+            return None
+        s = self._engine.supervisor_stats
+        if s is None:
+            return None
+        return {
+            "crashes": s.crashes,
+            "hangs": s.hangs,
+            "respawns": s.respawns,
+            "reissues": s.reissues,
+            "late_replies_discarded": s.late_replies_discarded,
+            "serial_fallbacks": s.serial_fallbacks,
+            "sdc_detected": s.sdc_detected,
+            "degraded": int(s.degraded),
+        }
+
+    def report(self) -> "RunReport":
+        """Everything this run can tell about itself, in one object.
+
+        Consolidates the pair-engine, neighbour-cache, recovery and
+        checkpoint counters (previously four separate accessors) with the
+        POP efficiency metrics computed from the measured span timeline.
+        """
+        from ..observability.pop import pop_from_events
+        from ..observability.registry import MetricsRegistry
+        from ..observability.report import RunReport
+
+        reg = MetricsRegistry()
+        pair = self._pair_stats_total().as_dict()
+        reg.absorb("pair_engine", pair)
+        ncache = self._ncache_stats_dict()
+        reg.absorb("neighbor_cache", ncache)
+        recovery = self._recovery_stats_dict()
+        reg.absorb("recovery", recovery)
+        checkpoint = None
+        if self.checkpoint_manager is not None:
+            checkpoint = self.checkpoint_manager.stats()
+            reg.absorb("checkpoint", checkpoint)
+        tr = self.tracer
+        pop = None
+        if getattr(tr, "enabled", False) and tr.events:
+            pop = pop_from_events(tr)
+            reg.set("tracer.events", len(tr.events))
+            reg.set("tracer.dropped", getattr(tr, "dropped", 0))
+        return RunReport(
+            steps=self.step_index,
+            time=self.time,
+            n_particles=self.particles.n,
+            pair_engine=pair,
+            neighbor_cache=ncache,
+            recovery=recovery,
+            checkpoint=checkpoint,
+            pop=pop,
+            counters=reg.as_dict(),
+        )
+
     @property
     def neighbor_cache_stats(self):
-        """Verlet-cache counters, or ``None`` when the cache is disabled."""
+        """Deprecated — use ``report().neighbor_cache``."""
+        warn_once(
+            "Simulation.neighbor_cache_stats",
+            "Simulation.neighbor_cache_stats is deprecated; use "
+            "Simulation.report().neighbor_cache",
+        )
         return self._ncache.stats if self._ncache is not None else None
 
     @property
     def supervisor_stats(self):
-        """Pool recovery counters, or ``None`` when unsupervised/serial."""
+        """Deprecated — use ``report().recovery``."""
+        warn_once(
+            "Simulation.supervisor_stats",
+            "Simulation.supervisor_stats is deprecated; use "
+            "Simulation.report().recovery",
+        )
         return self._engine.supervisor_stats if self._engine is not None else None
 
     def close(self) -> None:
-        """Release pool workers and shared memory (no-op when serial)."""
+        """Release the pool and flush any configured trace exports.
+
+        No-op when serial and export paths are unset; safe to call more
+        than once (the context-manager exit calls it too).
+        """
         if self._engine is not None:
             self._engine.close()
+        obs = self.run_config.observability if self.run_config else None
+        if obs is not None and getattr(self.tracer, "enabled", False):
+            from ..observability.export import write_chrome_trace, write_jsonl
+
+            if obs.chrome_trace_path:
+                write_chrome_trace(obs.chrome_trace_path, self.tracer)
+            if obs.jsonl_path:
+                write_jsonl(obs.jsonl_path, self.tracer)
 
     def __enter__(self) -> "Simulation":
         return self

@@ -1,0 +1,30 @@
+"""Warn-once deprecation plumbing for the consolidated config/stats API.
+
+The old surface (``Simulation(exec_config=..., resilience=...)``, the
+``pair_engine_stats`` / ``neighbor_cache_stats`` accessors, the
+``profiling.metrics`` report formatters) keeps working, but each entry
+point announces its replacement exactly once per process — loud enough
+to migrate, quiet enough not to drown a 10k-step run in warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset_deprecation_warnings"]
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` on the first call only."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm every warning (test isolation)."""
+    _WARNED.clear()

@@ -1,0 +1,141 @@
+"""The consolidated run report behind ``Simulation.report()``.
+
+One typed, dict-convertible object replaces the four ad-hoc stats
+accessors that accreted on the driver (``pair_engine_stats``,
+``neighbor_cache_stats``, ``supervisor_stats`` + the
+``profiling.metrics`` one-line formatters): every execution path's
+counters under one namespace, plus the POP efficiency metrics computed
+from the measured span timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from ..profiling.metrics import PopMetrics
+
+__all__ = [
+    "RunReport",
+    "format_pair_engine",
+    "format_neighbor_cache",
+    "format_recovery",
+]
+
+
+def _get(stats, key, default=0):
+    """Read a field off a mapping or an attribute-style stats object."""
+    if isinstance(stats, dict):
+        return stats.get(key, default)
+    return getattr(stats, key, default)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything one finished (or in-flight) run can tell about itself.
+
+    Sections that do not apply to the run's configuration are ``None``
+    (e.g. ``neighbor_cache`` on a cache-off run); ``counters`` flattens
+    every present section into dotted :class:`~repro.observability
+    .registry.MetricsRegistry` names.
+    """
+
+    steps: int
+    time: float
+    n_particles: int
+    pair_engine: Dict[str, int]
+    neighbor_cache: Optional[Dict[str, float]] = None
+    recovery: Optional[Dict[str, float]] = None
+    checkpoint: Optional[Dict[str, float]] = None
+    pop: Optional[PopMetrics] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain nested dict (JSON-serializable)."""
+        out: Dict[str, object] = {
+            "steps": self.steps,
+            "time": self.time,
+            "n_particles": self.n_particles,
+            "pair_engine": dict(self.pair_engine),
+            "neighbor_cache": (
+                dict(self.neighbor_cache) if self.neighbor_cache else None
+            ),
+            "recovery": dict(self.recovery) if self.recovery else None,
+            "checkpoint": dict(self.checkpoint) if self.checkpoint else None,
+            "pop": asdict(self.pop) if self.pop is not None else None,
+            "counters": dict(self.counters),
+        }
+        return out
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"run: steps={self.steps} t={self.time:.6g} "
+            f"n_particles={self.n_particles}"
+        ]
+        lines.append(format_pair_engine(self.pair_engine))
+        if self.neighbor_cache is not None:
+            lines.append(format_neighbor_cache(self.neighbor_cache))
+        if self.recovery is not None:
+            lines.append(format_recovery(self.recovery))
+        if self.checkpoint is not None:
+            lines.append(
+                f"checkpoint: writes={self.checkpoint.get('writes', 0)} "
+                f"last_write={self.checkpoint.get('last_write_seconds', 0.0):.4f}s"
+            )
+        if self.pop is not None:
+            lines.append(self.pop.row().strip())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# One-line formatters (accept dicts or the legacy stats dataclasses)
+# ----------------------------------------------------------------------
+def format_pair_engine(stats) -> str:
+    """One-line report of the pair-geometry engine's reuse behaviour."""
+    computes = _get(stats, "geometry_computes")
+    reuses = _get(stats, "geometry_reuses")
+    prod_c = _get(stats, "product_computes")
+    prod_r = _get(stats, "product_reuses")
+    alloc = _get(stats, "bytes_allocated")
+    reused = _get(stats, "bytes_reused")
+    geo = computes + reuses
+    prod = prod_c + prod_r
+    byt = alloc + reused
+    return (
+        f"pair-engine: geometry {reuses}/{geo} reused, "
+        f"products {prod_r}/{prod} reused, "
+        f"scratch {reused / byt if byt else 0.0:5.3f} "
+        f"served in place ({alloc} B allocated, {reused} B reused)"
+    )
+
+
+def format_neighbor_cache(stats) -> str:
+    """One-line report of a Verlet-cache run (hit rate + invalidations)."""
+    hits = _get(stats, "hits")
+    builds = _get(stats, "builds")
+    m_disp = _get(stats, "misses_displacement")
+    m_h = _get(stats, "misses_h_change")
+    m_shape = _get(stats, "misses_shape")
+    lookups = hits + m_disp + m_h + m_shape
+    hit_rate = _get(stats, "hit_rate", hits / lookups if lookups else 0.0)
+    return (
+        f"neighbor-cache: hit_rate={hit_rate:5.3f} "
+        f"(hits={hits}, builds={builds}, "
+        f"invalidated: displacement={m_disp}, "
+        f"h-change={m_h}, cold/shape={m_shape})"
+    )
+
+
+def format_recovery(stats) -> str:
+    """One-line report of a supervised run's fault handling."""
+    return (
+        f"recovery: crashes={_get(stats, 'crashes')} "
+        f"hangs={_get(stats, 'hangs')} "
+        f"respawns={_get(stats, 'respawns')} "
+        f"reissues={_get(stats, 'reissues')} "
+        f"late-discarded={_get(stats, 'late_replies_discarded')} "
+        f"serial-fallbacks={_get(stats, 'serial_fallbacks')} "
+        f"sdc={_get(stats, 'sdc_detected')} "
+        f"degraded={bool(_get(stats, 'degraded'))}"
+    )

@@ -377,12 +377,14 @@ class ParallelEngine:
         config: ExecConfig,
         tracer: Optional[Tracer] = None,
         rank: int = 0,
+        worker_spans: bool = True,
     ) -> None:
         if not config.parallel_enabled:
             raise ValueError("ParallelEngine needs ExecConfig(workers >= 1)")
         self.config = config
         self.tracer = tracer
         self.rank = rank
+        self.worker_spans = worker_spans
         self._pool: Optional[Union[WorkerPool, SupervisedPool]] = None
         self._arena: Optional[ShmArena] = None
         self._step = 0
@@ -411,8 +413,47 @@ class ParallelEngine:
                 self._pool = WorkerPool(
                     self.config.workers, start_method=self.config.start_method
                 )
+            self._install_span_sink(self._pool)
             self._arena = ShmArena(self.config.arena_capacity)
         return self._pool, self._arena
+
+    def _install_span_sink(self, pool) -> None:
+        """Merge worker span envelopes into the driver's tracer.
+
+        Workers time their handler with ``perf_counter`` (system-wide
+        monotonic), so the parent only needs to attribute the interval to
+        row ``thread = slot + 1`` of its own rank and the current step.
+        Supervised pools forward spans solely for applied replies, which
+        keeps the merged timeline coherent across crashes and respawns.
+        """
+        tr = self.tracer
+        if (
+            not self.worker_spans
+            or tr is None
+            or not getattr(tr, "enabled", False)
+        ):
+            return
+        record = getattr(tr, "record_span", None)
+        if record is None:
+            return
+        engine = self
+
+        def sink(worker: int, span: dict) -> None:
+            record(
+                span.get("phase", "?"),
+                State.USEFUL,
+                span["t0"],
+                span["dur"],
+                rank=engine.rank,
+                thread=worker + 1,
+                step=engine._step,
+                label=(
+                    f"{span.get('kind', '?')}"
+                    f"[{span.get('lo', 0)}:{span.get('hi', 0)})"
+                ),
+            )
+
+        pool.span_sink = sink
 
     def _map(
         self,
@@ -434,7 +475,9 @@ class ParallelEngine:
                 phase=phase,
                 verify=verify if self.config.verify_outputs else (),
             )
-        return parallel_map(pool, kind, chunks, arena.descriptor(), params)
+        return parallel_map(
+            pool, kind, chunks, arena.descriptor(), params, phase=phase
+        )
 
     def set_step(self, step: int) -> None:
         """Tell the supervisor the driver's step index (chaos matching)."""

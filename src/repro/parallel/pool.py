@@ -81,8 +81,21 @@ def _worker_main(conn) -> None:
         try:
             views.refresh(task["arena"])
             handler = TASK_HANDLERS[task["kind"]]
+            t0 = time.perf_counter()
             data = handler(views, task["params"], task["lo"], task["hi"])
+            dur = time.perf_counter() - t0
             reply = {"ok": True, "data": data}
+            # Span envelope: perf_counter is CLOCK_MONOTONIC system-wide
+            # on Linux, so the parent can place this interval on its own
+            # timeline with nothing but an origin shift.
+            reply["span"] = {
+                "t0": t0,
+                "dur": dur,
+                "kind": task["kind"],
+                "phase": task.get("phase", "?"),
+                "lo": task["lo"],
+                "hi": task["hi"],
+            }
             if task.get("verify"):
                 # CRC the output slices *after* computing so the parent can
                 # detect corruption between this write and its read.
@@ -115,6 +128,10 @@ def _worker_main(conn) -> None:
 
 class WorkerPool:
     """Fixed set of persistent worker processes fed over pipes."""
+
+    #: optional callable ``(worker_slot, span_dict) -> None``; installed by
+    #: the observability layer to merge worker spans into the driver trace.
+    span_sink: Callable[[int, dict], None] | None = None
 
     def __init__(self, n_workers: int, start_method: str | None = None) -> None:
         if n_workers < 1:
@@ -149,6 +166,8 @@ class WorkerPool:
             raise RuntimeError(
                 f"pool worker {worker} failed:\n{reply['error']}"
             )
+        if self.span_sink is not None and "span" in reply:
+            self.span_sink(worker, reply["span"])
         return reply["data"]
 
     # ------------------------------------------------------------------
@@ -293,12 +312,14 @@ def parallel_map(
     chunks: Sequence[Tuple[int, int]],
     arena_descriptor: dict,
     params: dict,
+    phase: str = "?",
 ) -> List[Tuple[Tuple[int, int], Any]]:
     """Fan ``chunks`` of rows out over the pool; gather replies in order.
 
     Chunks are assigned round-robin; each worker processes its queue in
     FIFO order, so replies can be collected deterministically.  Returns
-    ``[((lo, hi), reply_data), ...]`` in chunk order.
+    ``[((lo, hi), reply_data), ...]`` in chunk order.  ``phase`` labels
+    the chunks' span envelopes with the Algorithm-1 phase letter.
     """
     assignments: List[int] = []
     for k, (lo, hi) in enumerate(chunks):
@@ -311,6 +332,7 @@ def parallel_map(
                 "params": params,
                 "lo": int(lo),
                 "hi": int(hi),
+                "phase": phase,
             },
         )
         assignments.append(worker)

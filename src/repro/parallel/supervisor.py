@@ -189,6 +189,10 @@ class SupervisedPool:
         self.rank = rank
         self.stats = SupervisorStats()
         self.step_index = 0
+        #: optional ``(worker_slot, span_dict) -> None``; only spans from
+        #: replies that were actually applied are forwarded, so abandoned
+        #: and duplicate replies never pollute the merged timeline.
+        self.span_sink = None
         self._ewma: Dict[str, float] = {}
         self._seq = 0
         self._respawns_left = self.config.max_respawns
@@ -231,11 +235,25 @@ class SupervisedPool:
         prev = self._ewma.get(kind)
         self._ewma[kind] = latency if prev is None else (1.0 - a) * prev + a * latency
 
-    def run_serial(self, kind: str, descriptor: dict, params: dict, lo: int, hi: int):
+    def run_serial(
+        self,
+        kind: str,
+        descriptor: dict,
+        params: dict,
+        lo: int,
+        hi: int,
+        phase: Optional[str] = None,
+    ):
         """Execute one chunk in the parent (degradation / recompute path)."""
         self.stats.serial_fallbacks += 1
         self._parent_views.refresh(descriptor)
-        return TASK_HANDLERS[kind](self._parent_views, params, lo, hi)
+        ctx = (
+            self.tracer.phase(phase, State.USEFUL, self.rank)
+            if self.tracer is not None and phase is not None
+            else _null()
+        )
+        with ctx:
+            return TASK_HANDLERS[kind](self._parent_views, params, lo, hi)
 
     # ------------------------------------------------------------------
     def map(
@@ -255,7 +273,9 @@ class SupervisedPool:
         verify_fields = tuple(name for name, _ in verify)
         if self.stats.degraded or not any(self._alive):
             for k, (lo, hi) in enumerate(chunks):
-                results[k] = self.run_serial(kind, descriptor, params, lo, hi)
+                results[k] = self.run_serial(
+                    kind, descriptor, params, lo, hi, phase=phase
+                )
         else:
             self._map_supervised(
                 kind, chunks, descriptor, params, phase, verify_fields, results, crcs
@@ -294,6 +314,7 @@ class SupervisedPool:
                 "lo": lo,
                 "hi": hi,
                 "stamp": self._seq,
+                "phase": phase,
             }
             if verify_fields:
                 task["verify"] = verify_fields
@@ -403,7 +424,7 @@ class SupervisedPool:
                 k = serial_queue.pop()
                 if not done[k]:
                     results[k] = self.run_serial(
-                        kind, descriptor, params, *chunks[k]
+                        kind, descriptor, params, *chunks[k], phase=phase
                     )
                     done[k] = True
             busy = [w for w in range(n_w) if outstanding[w]]
@@ -500,6 +521,8 @@ class SupervisedPool:
                 done[rec.k] = True
                 if "crc" in reply:
                     crcs[rec.k] = reply["crc"]
+                if self.span_sink is not None and "span" in reply:
+                    self.span_sink(w, reply["span"])
         if outstanding[w]:
             head_start[w] = now
             if not tainted[w]:
@@ -550,7 +573,7 @@ class SupervisedPool:
             self.stats.sdc_detected += 1
             self._event("sdc", -1, phase, "; ".join(findings))
             lo, hi = chunks[k]
-            self.run_serial(kind, descriptor, params, lo, hi)
+            self.run_serial(kind, descriptor, params, lo, hi, phase=phase)
             if scan(k, with_crc=False):
                 raise RuntimeError(
                     f"phase {phase} chunk {k} still corrupt after serial "

@@ -13,10 +13,20 @@ across all processes)" — the paper uses the POP CoE hierarchy:
 All metrics are functions of a :class:`~repro.profiling.trace.Tracer`;
 Computation Scalability additionally needs the reference (smallest-scale)
 run's total useful time.
+
+Degenerate traces are NaN-safe: an empty trace or one with zero runtime
+yields ``nan`` efficiencies instead of raising, so report pipelines can
+always compute-then-filter (``PopMetrics.valid`` tells the two cases
+apart).  The measured-span variant over merged driver + pool-worker
+timelines lives in :func:`repro.observability.pop.pop_from_events`; the
+one-line stats formatters that used to live here moved to
+:mod:`repro.observability.report` and are re-exported below behind
+``DeprecationWarning`` shims.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,6 +57,20 @@ class PopMetrics:
     computation_scalability: float
     global_efficiency: float
 
+    @property
+    def valid(self) -> bool:
+        """True when every efficiency factor is a real number."""
+        return all(
+            math.isfinite(v)
+            for v in (
+                self.load_balance,
+                self.communication_efficiency,
+                self.parallel_efficiency,
+                self.computation_scalability,
+                self.global_efficiency,
+            )
+        )
+
     def row(self) -> str:
         """Tabular one-liner for benchmark reports."""
         return (
@@ -73,23 +97,31 @@ def compute_pop_metrics(
     reference_ranks:
         Unused in the ratio itself (total useful time already aggregates
         over ranks) but kept for report labelling symmetry.
+
+    NaN-safe: empty traces and zero-duration traces return ``nan``
+    efficiencies (``PopMetrics.valid`` is then ``False``) rather than
+    raising.
     """
     ranks = tracer.ranks
     if not ranks:
-        raise ValueError("cannot compute POP metrics of an empty trace")
-    useful = np.array([tracer.time_in_state(r, State.USEFUL) for r in ranks])
-    runtime = tracer.runtime()
-    if runtime <= 0.0:
-        raise ValueError("trace has zero runtime")
-    max_useful = float(useful.max())
-    lb = float(useful.mean() / max_useful) if max_useful > 0 else 1.0
-    comm_eff = max_useful / runtime
+        useful = np.zeros(0)
+        runtime = 0.0
+    else:
+        useful = np.array(
+            [tracer.time_in_state(r, State.USEFUL) for r in ranks]
+        )
+        runtime = tracer.runtime()
+    max_useful = float(useful.max()) if useful.size else 0.0
+    lb = float(useful.mean() / max_useful) if max_useful > 0.0 else math.nan
+    comm_eff = max_useful / runtime if runtime > 0.0 else math.nan
     par_eff = lb * comm_eff
-    total_useful = float(useful.sum())
+    total_useful = float(useful.sum()) if useful.size else 0.0
     if reference_useful_total is None:
         comp_scal = 1.0
+    elif total_useful > 0.0:
+        comp_scal = reference_useful_total / total_useful
     else:
-        comp_scal = reference_useful_total / total_useful if total_useful > 0 else 0.0
+        comp_scal = math.nan
     return PopMetrics(
         n_ranks=len(ranks),
         runtime=runtime,
@@ -138,47 +170,56 @@ def recovery_overhead(tracer: Tracer, rank: int | None = None) -> dict[str, floa
 
 
 def recovery_report(stats) -> str:
-    """One-line report of a supervised run's fault handling.
+    """Deprecated: use :func:`repro.observability.report.format_recovery`
+    (or ``Simulation.report().summary()``).
 
     ``stats`` is a :class:`~repro.parallel.supervisor.SupervisorStats`
     (duck-typed so profiling does not import the parallel package).
     """
-    return (
-        f"recovery: crashes={stats.crashes} hangs={stats.hangs} "
-        f"respawns={stats.respawns} reissues={stats.reissues} "
-        f"late-discarded={stats.late_replies_discarded} "
-        f"serial-fallbacks={stats.serial_fallbacks} "
-        f"sdc={stats.sdc_detected} degraded={stats.degraded}"
+    from ..observability.deprecation import warn_once
+    from ..observability.report import format_recovery
+
+    warn_once(
+        "profiling.metrics.recovery_report",
+        "recovery_report() is deprecated; use "
+        "repro.observability.report.format_recovery or Simulation.report()",
     )
+    return format_recovery(stats)
 
 
 def neighbor_cache_report(stats) -> str:
-    """One-line report of a Verlet-cache run (hit rate + invalidations).
+    """Deprecated: use :func:`repro.observability.report
+    .format_neighbor_cache` (or ``Simulation.report().summary()``).
 
     ``stats`` is a :class:`~repro.tree.neighborlist.VerletCacheStats`
     (duck-typed so profiling does not import the tree package).
     """
-    return (
-        f"neighbor-cache: hit_rate={stats.hit_rate:5.3f} "
-        f"(hits={stats.hits}, builds={stats.builds}, "
-        f"invalidated: displacement={stats.misses_displacement}, "
-        f"h-change={stats.misses_h_change}, cold/shape={stats.misses_shape})"
+    from ..observability.deprecation import warn_once
+    from ..observability.report import format_neighbor_cache
+
+    warn_once(
+        "profiling.metrics.neighbor_cache_report",
+        "neighbor_cache_report() is deprecated; use "
+        "repro.observability.report.format_neighbor_cache or "
+        "Simulation.report()",
     )
+    return format_neighbor_cache(stats)
 
 
 def pair_engine_report(stats) -> str:
-    """One-line report of the pair-geometry engine's reuse behaviour.
+    """Deprecated: use :func:`repro.observability.report
+    .format_pair_engine` (or ``Simulation.report().summary()``).
 
     ``stats`` is a :class:`~repro.sph.pair_engine.PairEngineStats`
     (duck-typed so profiling does not import the sph package).
     """
-    geo = stats.geometry_computes + stats.geometry_reuses
-    prod = stats.product_computes + stats.product_reuses
-    byt = stats.bytes_allocated + stats.bytes_reused
-    return (
-        f"pair-engine: geometry {stats.geometry_reuses}/{geo} reused, "
-        f"products {stats.product_reuses}/{prod} reused, "
-        f"scratch {stats.bytes_reused / byt if byt else 0.0:5.3f} "
-        f"served in place ({stats.bytes_allocated} B allocated, "
-        f"{stats.bytes_reused} B reused)"
+    from ..observability.deprecation import warn_once
+    from ..observability.report import format_pair_engine
+
+    warn_once(
+        "profiling.metrics.pair_engine_report",
+        "pair_engine_report() is deprecated; use "
+        "repro.observability.report.format_pair_engine or "
+        "Simulation.report()",
     )
+    return format_pair_engine(stats)

@@ -30,6 +30,7 @@ STATE_CHARS: Dict[State, str] = {
     State.FAN_OUT: "F",
     State.REDUCE: "R",
     State.RECOVERY: "!",
+    State.STEP: " ",
 }
 
 
@@ -43,7 +44,9 @@ def _bin_events(
     # Accumulate per-bin occupancy per state.
     occupancy = {state: np.zeros(width) for state in State}
     for e in events:
-        if e.duration <= 0.0:
+        # STEP container spans overlap the exclusive states they wrap;
+        # counting them would let the container dominate every bin.
+        if e.duration <= 0.0 or e.state is State.STEP:
             continue
         lo = np.searchsorted(edges, e.start, side="right") - 1
         hi = np.searchsorted(edges, e.end, side="left")

@@ -13,10 +13,10 @@ the timeline renderer both consume this one structure.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Tuple
+from typing import ContextManager, Dict, Iterator, List, Tuple
 
 __all__ = ["State", "TraceEvent", "Tracer"]
 
@@ -39,11 +39,21 @@ class State(Enum):
     FAN_OUT = "pool-fan-out"  # pool: publish shared arrays + dispatch tasks
     REDUCE = "pool-reduce"  # pool: await workers + merge partial results
     RECOVERY = "recovery"  # supervisor: respawn workers, re-issue lost work
+    STEP = "step"  # observability: whole-step container span (not exclusive)
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One state interval on one (rank, thread) row."""
+    """One state interval on one (rank, thread) row.
+
+    ``step``, ``depth`` and ``label`` are span attribution added by the
+    observability layer (:mod:`repro.observability`): the driver step the
+    interval belongs to (``-1`` when unattributed), the nesting depth on
+    the event's row (step container = 0; phase spans and merged worker
+    chunk spans = 1; deeper nesting as recorded) and an optional
+    free-form detail label (e.g. ``density[0:512)``).  The
+    modeled-cluster path leaves them at their defaults.
+    """
 
     rank: int
     thread: int
@@ -51,6 +61,9 @@ class TraceEvent:
     state: State
     start: float
     duration: float
+    step: int = -1
+    depth: int = 0
+    label: str = ""
 
     @property
     def end(self) -> float:
@@ -113,6 +126,16 @@ class Tracer:
             yield
         finally:
             self.record(rank, phase, state, time.perf_counter() - t0, thread)
+
+    # ------------------------------------------------------------------
+    # Observability hooks (no-ops here; repro.observability overrides)
+    # ------------------------------------------------------------------
+    def set_step(self, index: int) -> None:
+        """Declare the driver step subsequent intervals belong to."""
+
+    def step_span(self, index: int, rank: int = 0) -> ContextManager[None]:
+        """Container span wrapping one whole driver step."""
+        return nullcontext()
 
     # ------------------------------------------------------------------
     # Queries

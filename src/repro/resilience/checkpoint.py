@@ -394,11 +394,22 @@ class CheckpointManager:
 
     def checkpoint(self, sim) -> Path:
         """Unconditional checkpoint of the driver's current state."""
+        from contextlib import nullcontext
+
+        from ..profiling.trace import State
+
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.directory / _checkpoint_name(sim.step_index)
+        tracer = getattr(sim, "tracer", None)
+        span = (
+            tracer.phase("ckpt", State.RECOVERY, getattr(sim, "rank", 0))
+            if tracer is not None
+            else nullcontext()
+        )
         start = _time.perf_counter()
-        write_checkpoint(path, Checkpoint.of_simulation(sim))
-        _atomic_write(self.directory / _LATEST, [path.name.encode()])
+        with span:
+            write_checkpoint(path, Checkpoint.of_simulation(sim))
+            _atomic_write(self.directory / _LATEST, [path.name.encode()])
         self.last_write_seconds = _time.perf_counter() - start
         self._last_step_end = _time.perf_counter()  # exclude ckpt from step EWMA
         self.last_path = path
@@ -406,6 +417,14 @@ class CheckpointManager:
         self.steps_since = 0
         self._prune()
         return path
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for ``Simulation.report()`` (one flat dict)."""
+        return {
+            "writes": self.checkpoints_written,
+            "last_write_seconds": self.last_write_seconds,
+            "interval_steps": self.interval_steps(),
+        }
 
     def _prune(self) -> None:
         rolling = sorted(

@@ -86,6 +86,18 @@ class CommSkeleton:
                 )
         return comm.elapsed()
 
+    def replay_trace(self, network: NetworkSpec) -> tuple[float, Tracer]:
+        """Replay and keep the replay's per-rank trace.
+
+        The returned tracer feeds the same observability pipeline real
+        executions use — :func:`repro.observability.pop.pop_from_events`,
+        the Chrome-trace/JSONL exporters — so modeled skeleton replays
+        and measured pool runs are comparable row for row.
+        """
+        tracer = Tracer()
+        elapsed = self.replay(network, tracer)
+        return elapsed, tracer
+
 
 def extract_skeleton(model: ClusterModel) -> CommSkeleton:
     """Skeletonize one step of the cluster model.

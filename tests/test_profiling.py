@@ -1,5 +1,7 @@
 """Tracer, POP metrics, timeline rendering."""
 
+import math
+
 import pytest
 
 from repro.profiling.metrics import compute_pop_metrics
@@ -74,9 +76,38 @@ def test_pop_metrics_with_reference():
     assert m.global_efficiency == pytest.approx(0.45)
 
 
-def test_pop_metrics_empty_trace():
-    with pytest.raises(ValueError, match="empty"):
-        compute_pop_metrics(Tracer())
+def test_pop_metrics_empty_trace_is_nan_safe():
+    m = compute_pop_metrics(Tracer())
+    assert not m.valid
+    assert m.n_ranks == 0
+    assert m.runtime == 0.0
+    assert m.total_useful == 0.0
+    assert math.isnan(m.load_balance)
+    assert math.isnan(m.communication_efficiency)
+    assert math.isnan(m.global_efficiency)
+
+
+def test_pop_metrics_zero_duration_trace_is_nan_safe():
+    t = Tracer()
+    t.record(0, "A", State.USEFUL, 0.0)
+    t.record(1, "A", State.IDLE, 0.0)
+    m = compute_pop_metrics(t)
+    assert not m.valid
+    assert m.n_ranks == 2
+    assert math.isnan(m.load_balance)  # max useful is 0
+    assert math.isnan(m.communication_efficiency)  # runtime is 0
+
+
+def test_pop_metrics_zero_useful_reference_is_nan():
+    t = Tracer()
+    t.record(0, "A", State.IDLE, 1.0)
+    m = compute_pop_metrics(t, reference_useful_total=5.0)
+    assert math.isnan(m.computation_scalability)
+    assert not m.valid
+
+
+def test_pop_metrics_valid_flag_on_healthy_trace():
+    assert compute_pop_metrics(_two_rank_trace()).valid
 
 
 def test_timeline_render_shows_states_and_phases():
