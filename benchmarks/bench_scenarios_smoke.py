@@ -1,0 +1,63 @@
+"""Smoke benchmark: step cost of every registered scenario.
+
+Runs each registry entry at its CI size for a few steps and records
+per-scenario wall time per step, particle count and time-step size into
+``benchmarks/results/BENCH_scenarios.json``.  Not a regression gate —
+the point is a one-look overview of what each workload costs, so a
+scenario that suddenly becomes 10x more expensive (neighbour-count
+blow-up, time-step collapse) is visible before it lands in CI timings.
+
+Shrink or extend via ``REPRO_BENCH_SCENARIO_STEPS`` (default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.scenarios import all_scenarios
+
+STEPS = int(os.environ.get("REPRO_BENCH_SCENARIO_STEPS", "3"))
+RESULTS = Path(__file__).parent / "results" / "BENCH_scenarios.json"
+
+
+def run() -> dict:
+    rows = {}
+    for scenario in all_scenarios():
+        sim = scenario.make_simulation(test=True)
+        try:
+            sim.run(n_steps=1)  # warm-up: tree build + h relaxation
+            t0 = time.perf_counter()
+            sim.run(n_steps=STEPS)
+            elapsed = time.perf_counter() - t0
+            rows[scenario.name] = {
+                "n_particles": sim.particles.n,
+                "dim": sim.particles.x.shape[1],
+                "steps": STEPS,
+                "time_per_step": elapsed / STEPS,
+                "dt": sim.history[-1].dt,
+                "mean_neighbors": sim.history[-1].mean_neighbors,
+            }
+        finally:
+            sim.close()
+    return rows
+
+
+def test_scenarios_smoke():
+    rows = run()
+    assert len(rows) >= 8
+    header = f"{'scenario':<18} {'n':>6} {'dim':>3} {'t/step [ms]':>12} {'dt':>10}"
+    print(header)
+    for name, row in rows.items():
+        print(
+            f"{name:<18} {row['n_particles']:>6d} {row['dim']:>3d} "
+            f"{row['time_per_step'] * 1e3:>12.1f} {row['dt']:>10.2e}"
+        )
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(rows, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    test_scenarios_smoke()

@@ -45,6 +45,7 @@ from .ics import (
 )
 from .kernels import available_kernels, make_kernel
 from .profiling import PopMetrics, State, Tracer, compute_pop_metrics, render_timeline
+from .scenarios import Scenario, all_scenarios, get_scenario, scenario_names
 from .tree import Box, NeighborList, Octree, cell_grid_search
 
 __version__ = "1.0.0"
@@ -74,6 +75,10 @@ __all__ = [
     "make_square_patch",
     "make_kernel",
     "available_kernels",
+    "Scenario",
+    "get_scenario",
+    "all_scenarios",
+    "scenario_names",
     "Box",
     "NeighborList",
     "Octree",

@@ -8,48 +8,136 @@ surface.
 
 Commands::
 
-    python -m repro run squarepatch --side 16 --layers 8 --steps 5
-    python -m repro run evrard --n 3000 --steps 10 [--preset sphynx]
+    python -m repro run <scenario> [--n 500 | --side 16 --layers 8] [--steps 5]
+    python -m repro run sedov --steps 10 --json
+    python -m repro scenarios [--list | --json]
     python -m repro scaling --code sph-flow --test square --n 200000
     python -m repro tables
+
+``run`` accepts any name from the scenario registry
+(:mod:`repro.scenarios`); ``scenarios`` lists the registry.  The legacy
+spelling ``squarepatch`` keeps working as an alias of ``square-patch``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+#: Legacy spellings accepted by earlier releases of this CLI.
+_ALIASES = {"squarepatch": "square-patch"}
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core.presets import get_preset
-    from .core.simulation import Simulation
-    from .timestepping.criteria import TimestepParams
+    from .scenarios import UnknownScenarioError, get_scenario
 
+    try:
+        scenario = get_scenario(_ALIASES.get(args.case, args.case))
+    except UnknownScenarioError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    overrides = {}
+    if args.n is not None:
+        if scenario.size_param is None:
+            print(
+                f"error: {scenario.name} is sized with --side/--layers, not --n",
+                file=sys.stderr,
+            )
+            return 2
+        overrides[scenario.size_param] = args.n
+    if args.side is not None or args.layers is not None:
+        if scenario.name != "square-patch":
+            print(
+                f"error: --side/--layers only apply to square-patch, "
+                f"not {scenario.name}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.side is not None:
+            overrides["side"] = args.side
+        if args.layers is not None:
+            overrides["layers"] = args.layers
+
+    # The preset picks the Table 1-2 algorithm column; the scenario then
+    # pins the physics switches it needs on top (neighbour count, time
+    # -step criteria, viscosity limiter).
     preset = get_preset(args.preset)
-    if args.case == "squarepatch":
-        from .ics.square_patch import SquarePatchConfig, make_square_patch
+    needs = scenario.sim_config
+    config = preset.with_(
+        n_neighbors=args.neighbors if args.neighbors is not None else needs.n_neighbors,
+        timestep_params=needs.timestep_params,
+        viscosity=needs.viscosity,
+    )
 
-        particles, box, eos = make_square_patch(
-            SquarePatchConfig(side=args.side, layers=args.layers)
-        )
-        config = preset.with_(
-            n_neighbors=args.neighbors,
-            timestep_params=TimestepParams(use_energy_criterion=False),
-        )
-    else:
-        from .ics.evrard import EvrardConfig, make_evrard
-
-        particles, box, eos = make_evrard(EvrardConfig(n_target=args.n))
-        config = preset.with_(n_neighbors=args.neighbors)
+    particles, box, eos = scenario.build(**overrides)
     print(f"{args.case}: {particles.n} particles, preset {preset.label}")
-    sim = Simulation(particles, box, eos, config=config)
-    for _ in range(args.steps):
-        s = sim.step()
-        print(f"  step {s.index}: t={s.time:.4e} dt={s.dt:.2e} "
-              f"{s.conservation.summary()}")
-    drift = sim.conservation_drift()
-    print(f"drift: mass={drift['mass']:.2e} momentum={drift['momentum']:.2e} "
-          f"energy={drift['energy']:.2e}")
+    from .core.simulation import Simulation
+
+    n_steps = args.steps if args.steps is not None else scenario.default_steps
+    sim = Simulation(
+        particles, box, eos, config=config, g_const=scenario.g_const
+    )
+    try:
+        for _ in range(n_steps):
+            s = sim.step()
+            print(f"  step {s.index}: t={s.time:.4e} dt={s.dt:.2e} "
+                  f"{s.conservation.summary()}")
+        drift = sim.conservation_drift()
+        print(f"drift: mass={drift['mass']:.2e} momentum={drift['momentum']:.2e} "
+              f"energy={drift['energy']:.2e}")
+        if args.json:
+            summary = {
+                "scenario": scenario.name,
+                "preset": preset.label,
+                "n_particles": particles.n,
+                "n_steps": n_steps,
+                "final_time": sim.time,
+                "final_dt": sim.history[-1].dt if sim.history else None,
+                "drift": drift,
+            }
+            print(json.dumps(summary, indent=2))
+    finally:
+        sim.close()
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import all_scenarios, golden_path
+
+    entries = []
+    for sc in all_scenarios():
+        gate = None
+        if sc.analytic is not None:
+            gate = {
+                "fields": sorted(sc.analytic.tolerances),
+                "tolerances": dict(sc.analytic.tolerances),
+                "n_steps": sc.analytic.n_steps,
+            }
+        entries.append(
+            {
+                "name": sc.name,
+                "description": sc.description,
+                "params": dict(sc.params),
+                "test_params": dict(sc.test_params),
+                "invariants": dict(sc.invariants),
+                "analytic_gate": gate,
+                "golden": golden_path(sc.name).exists(),
+            }
+        )
+
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+
+    name_w = max(len(e["name"]) for e in entries)
+    print(f"{'scenario':<{name_w}}  gate        golden  description")
+    for e in entries:
+        gate = ",".join(e["analytic_gate"]["fields"]) if e["analytic_gate"] else "-"
+        golden = "yes" if e["golden"] else "MISSING"
+        print(f"{e['name']:<{name_w}}  {gate:<10}  {golden:<6}  {e['description']}")
     return 0
 
 
@@ -100,16 +188,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run a test-case simulation")
-    run.add_argument("case", choices=("squarepatch", "evrard"))
+    run = sub.add_parser("run", help="run a scenario from the registry")
+    run.add_argument("case", metavar="scenario",
+                     help="a registry name (see: python -m repro scenarios)")
     run.add_argument("--preset", default="sph-exa",
                      help="sphynx | changa | sph-flow | sph-exa")
-    run.add_argument("--side", type=int, default=12)
-    run.add_argument("--layers", type=int, default=6)
-    run.add_argument("--n", type=int, default=2000)
-    run.add_argument("--steps", type=int, default=5)
-    run.add_argument("--neighbors", type=int, default=40)
+    run.add_argument("--side", type=int, default=None,
+                     help="square-patch only: particles per side")
+    run.add_argument("--layers", type=int, default=None,
+                     help="square-patch only: extruded Z layers")
+    run.add_argument("--n", type=int, default=None,
+                     help="size (particle target or lattice cells per axis, "
+                          "depending on the scenario)")
+    run.add_argument("--steps", type=int, default=None)
+    run.add_argument("--neighbors", type=int, default=None)
+    run.add_argument("--json", action="store_true",
+                     help="print a machine-readable run summary")
     run.set_defaults(func=_cmd_run)
+
+    scen = sub.add_parser("scenarios", help="list the scenario registry")
+    scen.add_argument("--list", action="store_true",
+                      help="print the table (default)")
+    scen.add_argument("--json", action="store_true",
+                      help="print the registry as JSON")
+    scen.set_defaults(func=_cmd_scenarios)
 
     scal = sub.add_parser("scaling", help="strong-scaling sweep (modeled)")
     scal.add_argument("--code", default="sph-flow")

@@ -1,0 +1,29 @@
+"""Exact reference solutions for the validated scenarios.
+
+Each module solves one classic hydrodynamics problem in closed (or
+quadrature-exact) form:
+
+* :mod:`~repro.scenarios.analytic.riemann` — the exact Riemann solver for
+  the Sod shock tube (Toro 1997 iteration on the star pressure).
+* :mod:`~repro.scenarios.analytic.sedov` — the Sedov–Taylor point-blast
+  similarity solution (self-similar ODEs integrated from the strong-shock
+  jump conditions inward).
+* :mod:`~repro.scenarios.analytic.noh` — the Noh implosion (closed-form
+  shock reflection of a cold uniform inflow).
+
+These are the first correctness oracles in the repository that are
+independent of the code's own history: the L1-error gates in
+``tests/test_scenarios_analytic.py`` compare SPH output against them
+rather than against stored previous output.
+"""
+
+from .noh import NohSolution
+from .riemann import RiemannSolution, solve_riemann
+from .sedov import SedovSolution
+
+__all__ = [
+    "RiemannSolution",
+    "solve_riemann",
+    "SedovSolution",
+    "NohSolution",
+]

@@ -1,0 +1,82 @@
+"""Noh implosion — exact solution (Noh 1987).
+
+Cold gas (``p ~ 0``) streams uniformly toward the origin with speed
+``v0``; an infinite-strength shock reflects from the center and moves
+outward at constant speed
+
+    v_s = (gamma - 1) v0 / 2.
+
+Behind the shock the gas is at rest with all kinetic energy converted to
+internal energy; ahead of it the gas free-streams, geometrically
+compressing in cylindrical/spherical geometry.  With ``b = (gamma+1) /
+(gamma-1)`` and geometry index ``j``:
+
+    r < v_s t:   rho = rho0 b^j,  v = 0,     u = v0^2/2,  p = (gamma-1) rho u
+    r > v_s t:   rho = rho0 (1 + v0 t / r)^(j-1),  v = -v0,  u = u0,  p = p0
+
+The standard test (``gamma = 5/3``, ``v0 = 1``, ``rho0 = 1``) gives the
+well-known values: shock speed 1/3, post-shock density 4 (planar) or 64
+(spherical) and post-shock pressure 4/3 (planar) or 64/3 (spherical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NohSolution"]
+
+
+@dataclass(frozen=True)
+class NohSolution:
+    """Exact Noh solution for one ``(gamma, j)`` configuration."""
+
+    gamma: float = 5.0 / 3.0
+    j: int = 1
+    rho0: float = 1.0
+    v0: float = 1.0
+    p0: float = 0.0
+    u0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.j not in (1, 2, 3):
+            raise ValueError(f"geometry index j must be 1, 2 or 3, got {self.j}")
+        if self.gamma <= 1.0:
+            raise ValueError(f"gamma must exceed 1, got {self.gamma}")
+        if self.rho0 <= 0.0 or self.v0 <= 0.0:
+            raise ValueError("rho0 and v0 must be positive")
+
+    @property
+    def shock_speed(self) -> float:
+        return 0.5 * (self.gamma - 1.0) * self.v0
+
+    @property
+    def rho_post(self) -> float:
+        b = (self.gamma + 1.0) / (self.gamma - 1.0)
+        return self.rho0 * b**self.j
+
+    @property
+    def u_post(self) -> float:
+        return 0.5 * self.v0**2
+
+    @property
+    def p_post(self) -> float:
+        return (self.gamma - 1.0) * self.rho_post * self.u_post
+
+    def sample(self, r: np.ndarray, t: float) -> dict[str, np.ndarray]:
+        """Exact ``{"rho", "p", "u", "v"}`` at radii ``r >= 0``, time ``t``.
+
+        ``v`` is the signed radial velocity (negative = inflow).
+        """
+        r = np.asarray(r, dtype=np.float64)
+        shocked = r < self.shock_speed * t
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rho_pre = self.rho0 * np.where(
+                r > 0.0, 1.0 + self.v0 * t / np.maximum(r, 1e-300), 1.0
+            ) ** (self.j - 1)
+        rho = np.where(shocked, self.rho_post, rho_pre)
+        v = np.where(shocked, 0.0, -self.v0)
+        u = np.where(shocked, self.u_post, self.u0)
+        p = np.where(shocked, self.p_post, self.p0)
+        return {"rho": rho, "p": p, "u": u, "v": v}

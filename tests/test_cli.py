@@ -40,3 +40,85 @@ def test_scaling_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# --- scenario registry surface ------------------------------------------
+
+
+def test_run_registry_scenario(capsys):
+    rc = main(["run", "sod", "--n", "60", "--steps", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # n_target is a target: the low-density side is floored at 10
+    # particles, so just require the standard report shape.
+    assert "sod: " in out and " particles" in out
+    assert "drift:" in out
+
+
+def test_run_canonical_square_patch_name(capsys):
+    rc = main(["run", "square-patch", "--side", "8", "--layers", "4",
+               "--steps", "1"])
+    assert rc == 0
+    assert "square-patch: 256 particles" in capsys.readouterr().out
+
+
+def test_run_unknown_scenario_exits_2(capsys):
+    rc = main(["run", "does-not-exist", "--steps", "1"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario 'does-not-exist'" in err
+    assert "sedov" in err  # the message lists the known names
+
+
+def test_run_size_flag_mismatch_exits_2(capsys):
+    assert main(["run", "square-patch", "--n", "100"]) == 2
+    assert "--side/--layers" in capsys.readouterr().err
+    assert main(["run", "sod", "--side", "8"]) == 2
+    assert "only apply to square-patch" in capsys.readouterr().err
+
+
+def test_run_json_summary(capsys):
+    import json
+
+    rc = main(["run", "noh", "--n", "60", "--steps", "2", "--json"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out[out.index("{"):])
+    assert summary["scenario"] == "noh"
+    assert summary["n_particles"] == 60
+    assert summary["n_steps"] == 2
+    assert summary["final_time"] > 0.0
+    assert set(summary["drift"]) == {"mass", "momentum", "energy"}
+
+
+def test_scenarios_list(capsys):
+    from repro.scenarios import scenario_names
+
+    rc = main(["scenarios", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert len(scenario_names()) >= 8
+    for name in scenario_names():
+        assert name in out
+    assert "MISSING" not in out  # every entry ships its golden master
+
+
+def test_scenarios_json_schema(capsys):
+    import json
+
+    rc = main(["scenarios", "--json"])
+    assert rc == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert len(entries) >= 8
+    names = {e["name"] for e in entries}
+    assert {"square-patch", "evrard", "sedov", "sod", "noh", "gresho",
+            "kelvin-helmholtz", "wind-cloud"} <= names
+    for entry in entries:
+        assert set(entry) == {"name", "description", "params", "test_params",
+                              "invariants", "analytic_gate", "golden"}
+        assert entry["golden"] is True
+    gated = {e["name"]: e["analytic_gate"] for e in entries
+             if e["analytic_gate"] is not None}
+    assert {"sedov", "sod", "noh", "gresho"} <= set(gated)
+    for gate in gated.values():
+        assert set(gate) == {"fields", "tolerances", "n_steps"}

@@ -1,0 +1,57 @@
+"""Analytic-error gates: the solver vs exact solutions, asserted in tier-1.
+
+Each gated scenario (Sedov–Taylor, Sod, Noh, Gresho) runs at its gate
+resolution and must keep its particle-sampled relative L1 errors under
+the calibrated ceilings declared in the registry.  These are the first
+tests that compare the SPH solver against *external* truth — closed-form
+and ODE-integrated solutions of the Euler equations — rather than
+against its own history (goldens) or its own invariants (conservation).
+
+The gate runs are the most expensive tests in tier-1 (a few seconds
+each); they are deliberately not marked slow/skipped — a regression in
+shock capturing or angular-momentum transport must fail CI, not a
+nightly job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import all_scenarios, get_scenario
+
+GATED = [sc.name for sc in all_scenarios() if sc.analytic is not None]
+
+
+@pytest.mark.parametrize("name", GATED)
+def test_analytic_gate_passes(name):
+    scenario = get_scenario(name)
+    errors = scenario.run_gate()  # raises AssertionError on budget overrun
+    # The gate must actually measure something: a zero error would mean
+    # the window is empty or the evaluator compared a field to itself.
+    assert errors, f"{name}: gate returned no errors"
+    for field, value in errors.items():
+        assert value > 0.0, f"{name}: suspicious exact-zero L1 for {field!r}"
+
+
+def test_gate_coverage():
+    """Sedov, Sod, Noh and Gresho must all carry analytic gates."""
+    assert {"sedov", "sod", "noh", "gresho"} <= set(GATED)
+
+
+def test_gate_failure_reports_field_and_budget():
+    """An exceeded tolerance must raise with the offending numbers."""
+    scenario = get_scenario("gresho")
+    gate = scenario.analytic
+    impossible = type(gate)(
+        evaluate=gate.evaluate,
+        tolerances={"v_phi": 1e-12},
+        n_steps=2,
+        params=gate.params,
+    )
+    sim = scenario.make_simulation()
+    try:
+        sim.run(n_steps=2)
+        with pytest.raises(AssertionError, match="v_phi.*tol"):
+            impossible.check(sim.particles, sim.eos, sim.time)
+    finally:
+        sim.close()

@@ -1,0 +1,212 @@
+"""Property tests for the six new scenario IC builders.
+
+Hypothesis drives each builder across randomized sizes and physical
+parameters and checks the contracts every downstream consumer assumes:
+strictly positive masses and smoothing lengths, particles inside the
+declared box, consistent EOS initialization (u, p and rho agree), and
+total mass/energy matching the configured spec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ics import (
+    GreshoConfig,
+    KelvinHelmholtzConfig,
+    NohConfig,
+    SedovConfig,
+    SodConfig,
+    WindCloudConfig,
+    make_gresho,
+    make_kelvin_helmholtz,
+    make_noh,
+    make_sedov,
+    make_sod,
+    make_wind_cloud,
+)
+
+MAX_EXAMPLES = 12
+
+
+def _common_checks(particles, box):
+    assert np.all(particles.m > 0.0), "masses must be positive"
+    assert np.all(particles.h > 0.0), "smoothing lengths must be positive"
+    assert np.all(particles.rho > 0.0)
+    assert np.all(particles.u > 0.0)
+    assert np.all(np.isfinite(particles.x))
+    assert np.all(np.isfinite(particles.v))
+    for axis in range(particles.x.shape[1]):
+        assert np.all(particles.x[:, axis] >= box.lo[axis])
+        assert np.all(particles.x[:, axis] <= box.hi[axis])
+
+
+@given(
+    nx=st.integers(min_value=6, max_value=12),
+    rho0=st.floats(min_value=0.2, max_value=4.0),
+    e0=st.floats(min_value=0.2, max_value=4.0),
+    length=st.floats(min_value=0.5, max_value=2.0),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_sedov_properties(nx, rho0, e0, length):
+    config = SedovConfig(nx=nx, rho0=rho0, e0=e0, length=length)
+    particles, box, eos = make_sedov(config)
+    _common_checks(particles, box)
+    assert particles.n == nx**3
+    assert particles.total_mass == pytest.approx(rho0 * length**3, rel=1e-12)
+    # Kernel-weighted injection must deposit exactly e0 above background.
+    background = config.u_background * particles.total_mass
+    assert float((particles.m * particles.u).sum()) == pytest.approx(
+        e0 + background, rel=1e-10
+    )
+    assert np.all(particles.v == 0.0)
+
+
+@given(
+    n_target=st.integers(min_value=40, max_value=400),
+    rho_l=st.floats(min_value=0.5, max_value=2.0),
+    rho_r=st.floats(min_value=0.05, max_value=0.4),
+    p_l=st.floats(min_value=0.5, max_value=2.0),
+    p_r=st.floats(min_value=0.05, max_value=0.4),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_sod_properties(n_target, rho_l, rho_r, p_l, p_r):
+    config = SodConfig(
+        n_target=n_target, rho_l=rho_l, rho_r=rho_r, p_l=p_l, p_r=p_r
+    )
+    particles, box, eos = make_sod(config)
+    _common_checks(particles, box)
+    # Per-side lattices conserve each side's mass exactly regardless of
+    # how n_target splits between them.
+    len_l = config.x_interface - config.x_min
+    len_r = config.x_max - config.x_interface
+    assert particles.total_mass == pytest.approx(
+        rho_l * len_l + rho_r * len_r, rel=1e-12
+    )
+    # u must encode the configured pressures through the ideal-gas EOS.
+    np.testing.assert_allclose(
+        eos.pressure(particles.rho, particles.u),
+        np.where(
+            particles.x[:, 0] < config.x_interface, p_l, p_r
+        ),
+        rtol=1e-12,
+    )
+    assert np.all(particles.v == 0.0)
+
+
+@given(
+    n_target=st.integers(min_value=40, max_value=400),
+    rho0=st.floats(min_value=0.2, max_value=4.0),
+    v0=st.floats(min_value=0.2, max_value=3.0),
+    length=st.floats(min_value=0.5, max_value=2.0),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_noh_properties(n_target, rho0, v0, length):
+    particles, box, eos = make_noh(
+        NohConfig(n_target=n_target, rho0=rho0, v0=v0, length=length)
+    )
+    _common_checks(particles, box)
+    assert particles.n % 2 == 0
+    assert particles.total_mass == pytest.approx(
+        rho0 * 2.0 * length, rel=1e-12
+    )
+    # Everything streams toward the origin at |v| = v0.
+    x = particles.x[:, 0]
+    np.testing.assert_allclose(particles.v[:, 0], -np.sign(x) * v0)
+    assert float(particles.linear_momentum()[0]) == pytest.approx(0.0, abs=1e-12)
+
+
+@given(
+    nx=st.integers(min_value=8, max_value=24),
+    rho0=st.floats(min_value=0.2, max_value=4.0),
+    p0=st.floats(min_value=3.0, max_value=8.0),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_gresho_properties(nx, rho0, p0):
+    particles, box, eos = make_gresho(GreshoConfig(nx=nx, rho0=rho0, p0=p0))
+    _common_checks(particles, box)
+    assert particles.n == nx**2
+    assert particles.total_mass == pytest.approx(rho0, rel=1e-12)  # L = 1
+    r = np.sqrt(np.einsum("ij,ij->i", particles.x, particles.x))
+    speed = np.sqrt(np.einsum("ij,ij->i", particles.v, particles.v))
+    # Triangular profile peaks at 1 (r = 0.2) and vanishes outside 0.4.
+    assert speed.max() <= 1.0 + 1e-12
+    assert np.all(speed[r >= 0.4] == 0.0)
+    # Velocity is purely azimuthal: no radial component anywhere.
+    radial = np.einsum("ij,ij->i", particles.x, particles.v)
+    np.testing.assert_allclose(radial, 0.0, atol=1e-12)
+
+
+@given(
+    nx=st.integers(min_value=8, max_value=24),
+    rho_in=st.floats(min_value=1.5, max_value=4.0),
+    v_shear=st.floats(min_value=0.1, max_value=1.0),
+    amplitude=st.floats(min_value=0.0, max_value=0.05),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_kelvin_helmholtz_properties(nx, rho_in, v_shear, amplitude):
+    config = KelvinHelmholtzConfig(
+        nx=nx, rho_in=rho_in, v_shear=v_shear, amplitude=amplitude
+    )
+    particles, box, eos = make_kelvin_helmholtz(config)
+    _common_checks(particles, box)
+    # Strip masses are exact: rho * strip area, half the box each.
+    expected = config.rho_out * 0.5 + rho_in * 0.5  # L = 1
+    assert particles.total_mass == pytest.approx(expected, rel=1e-12)
+    # Pressure equilibrium across the density jump.
+    np.testing.assert_allclose(
+        eos.pressure(particles.rho, particles.u), config.p0, rtol=1e-12
+    )
+    assert np.all(np.abs(particles.v[:, 0]) == v_shear)
+    assert np.all(np.abs(particles.v[:, 1]) <= 2.0 * amplitude + 1e-15)
+
+
+@given(
+    nx=st.integers(min_value=6, max_value=12),
+    contrast=st.floats(min_value=2.0, max_value=10.0),
+    mach=st.floats(min_value=0.5, max_value=3.0),
+)
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_wind_cloud_properties(nx, contrast, mach):
+    config = WindCloudConfig(nx=nx, density_contrast=contrast, mach=mach)
+    particles, box, eos = make_wind_cloud(config)
+    _common_checks(particles, box)
+    rho_cl = contrast * config.rho_ambient
+    in_cloud = particles.rho > 0.5 * (config.rho_ambient + rho_cl)
+    assert in_cloud.any(), "cloud must contain particles"
+    assert (~in_cloud).any(), "ambient must contain particles"
+    # Cloud at rest, ambient streaming at the wind speed.
+    assert np.all(particles.v[in_cloud] == 0.0)
+    np.testing.assert_allclose(
+        particles.v[~in_cloud, 0], config.wind_speed, rtol=1e-12
+    )
+    # Pressure equilibrium between cloud and wind.
+    np.testing.assert_allclose(
+        eos.pressure(particles.rho, particles.u), config.p0, rtol=1e-12
+    )
+    # Total mass ~ uniform ambient plus the denser sphere (lattice
+    # surface error only).
+    v_cloud = 4.0 / 3.0 * np.pi * config.cloud_radius**3
+    expected = config.rho_ambient * (1.0 - v_cloud) + rho_cl * v_cloud
+    assert particles.total_mass == pytest.approx(expected, rel=0.35)
+
+
+def test_builders_are_deterministic():
+    """Same config ⇒ bitwise-identical particle arrays (no hidden RNG)."""
+    for maker, config in (
+        (make_sedov, SedovConfig(nx=6)),
+        (make_sod, SodConfig(n_target=50)),
+        (make_noh, NohConfig(n_target=50)),
+        (make_gresho, GreshoConfig(nx=8)),
+        (make_kelvin_helmholtz, KelvinHelmholtzConfig(nx=8)),
+        (make_wind_cloud, WindCloudConfig(nx=6)),
+    ):
+        a, _, _ = maker(config)
+        b, _, _ = maker(config)
+        for field in ("x", "v", "m", "h", "rho", "u"):
+            assert np.array_equal(getattr(a, field), getattr(b, field)), (
+                f"{maker.__name__}: field {field!r} not deterministic"
+            )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Regenerate the committed scenario golden masters.
+
+Runs every registry entry (or a named subset) at its CI size for its
+golden step count and rewrites ``tests/golden/scenario_<name>.json``.
+Deterministic: same platform + same code ⇒ identical files.
+
+Use only after an *intentional* physics change, and commit the diff
+together with the change that caused it:
+
+    PYTHONPATH=src python tools/regen_goldens.py           # all scenarios
+    PYTHONPATH=src python tools/regen_goldens.py sod noh   # a subset
+    PYTHONPATH=src python tools/regen_goldens.py --check   # verify only
+
+``--check`` exits 1 if any committed golden differs from a fresh run —
+the same comparison the conformance suite applies, handy before pushing.
+
+The legacy square-patch golden (``square_patch_5step.json``, owned by
+``tests/test_golden_master.py``) is a separate fixture and is *not*
+touched here; regenerate it with ``python tests/test_golden_master.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.scenarios import (  # noqa: E402  (path bootstrap above)
+    all_scenarios,
+    compare_records,
+    get_scenario,
+    golden_path,
+    load_golden,
+    run_scenario_record,
+    write_golden,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        help="names to regenerate (default: the whole registry)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed files instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+
+    targets = (
+        [get_scenario(name) for name in args.scenarios]
+        if args.scenarios
+        else all_scenarios()
+    )
+
+    failures = 0
+    for scenario in targets:
+        path = golden_path(scenario.name)
+        record = run_scenario_record(scenario)
+        if args.check:
+            if not path.exists():
+                print(f"{scenario.name}: MISSING {path}")
+                failures += 1
+                continue
+            diffs = compare_records(record, load_golden(path))
+            if diffs:
+                print(f"{scenario.name}: MISMATCH")
+                for d in diffs:
+                    print(f"  {d}")
+                failures += 1
+            else:
+                print(f"{scenario.name}: ok")
+        else:
+            write_golden(record, path)
+            print(
+                f"{scenario.name}: wrote {path} "
+                f"({record['n_particles']} particles, "
+                f"{record['n_steps']} steps)"
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
