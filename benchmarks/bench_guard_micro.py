@@ -1,0 +1,125 @@
+"""Micro-benchmark of the self-healing step guard's fault-free overhead.
+
+The guard earns its keep only if a healthy run barely notices it: the
+contract is <= 3% step-time overhead at N=8000 (square patch), covering
+the per-step micro-snapshot (full state copy into the ring) plus the
+composite health check (range scans, drift ledger, next-dt probe).
+
+Times guard-on against guard-off on bit-identical trajectories (the
+guard must not perturb physics), min-of-N per config, and records the
+ratio into ``benchmarks/results/BENCH_guard.json`` — compared against
+the committed ``benchmarks/baselines/BENCH_guard.json`` by
+``check_guard_overhead.py`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.config import RunConfig, SimulationConfig
+from repro.core.simulation import Simulation
+from repro.ics.square_patch import SquarePatchConfig, make_square_patch
+from repro.resilience.guard import GuardConfig
+from repro.timestepping.steppers import TimestepParams
+
+#: patch side AND layer count; 20^2 x 20 = 8000 particles by default.
+SIDE = int(os.environ.get("REPRO_BENCH_GUARD_SIDE", "20"))
+WARMUP_STEPS = 2
+TIMED_STEPS = 5
+#: contract: <= 3% relative overhead, plus absolute slack for timer noise.
+MAX_OVERHEAD = 0.03
+ABS_SLACK_SECONDS = 0.005
+#: the acceptance criterion is stated at N=8000; smoke shrinks below it.
+TARGET_N = 8000
+
+
+def _make_sim(guarded: bool) -> Simulation:
+    particles, box, eos = make_square_patch(
+        SquarePatchConfig(side=SIDE, layers=SIDE)
+    )
+    config = SimulationConfig().with_(
+        n_neighbors=30,
+        timestep_params=TimestepParams(use_energy_criterion=False),
+    )
+    run_config = RunConfig(guard=GuardConfig() if guarded else None)
+    return Simulation(
+        particles, box, eos, config=config, run_config=run_config
+    )
+
+
+def _best_step_time(sim: Simulation) -> float:
+    sim.run(n_steps=WARMUP_STEPS)
+    best = np.inf
+    for _ in range(TIMED_STEPS):
+        t0 = time.perf_counter()
+        sim.run(n_steps=1)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_guard_overhead_within_budget(report, results_dir):
+    on = _make_sim(guarded=True)
+    t_on = _best_step_time(on)
+    n = on.particles.n
+    guard_rep = on.step_guard.report()
+    assert guard_rep.failures == 0 and guard_rep.checks == on.step_index
+
+    off = _make_sim(guarded=False)
+    assert off.step_guard is None
+    t_off = _best_step_time(off)
+
+    # Bit-identical trajectories: watching must not touch the physics.
+    for f in ("x", "u", "rho"):
+        assert np.array_equal(
+            getattr(on.particles, f), getattr(off.particles, f)
+        ), f
+
+    overhead = t_on / t_off - 1.0
+    payload = {
+        "n_particles": n,
+        "step_seconds_guard_on": t_on,
+        "step_seconds_guard_off": t_off,
+        "relative_overhead": overhead,
+        "snapshots": guard_rep.snapshots,
+        "budget": MAX_OVERHEAD,
+        "target_applies": n >= TARGET_N,
+    }
+    (results_dir / "BENCH_guard.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    report(
+        "BENCH_guard",
+        "Step-guard overhead (square patch, serial, "
+        f"N={n}, best of {TIMED_STEPS})\n"
+        f"  guard on  : {t_on * 1e3:8.2f} ms/step "
+        f"({guard_rep.snapshots} snapshots)\n"
+        f"  guard off : {t_off * 1e3:8.2f} ms/step\n"
+        f"  overhead  : {overhead * 100:+.2f}%  (budget "
+        f"{MAX_OVERHEAD * 100:.0f}% + {ABS_SLACK_SECONDS * 1e3:.0f} ms slack)",
+    )
+    assert t_on <= t_off * (1.0 + MAX_OVERHEAD) + ABS_SLACK_SECONDS, (
+        f"guard overhead {overhead * 100:.2f}% exceeds the "
+        f"{MAX_OVERHEAD * 100:.0f}% budget "
+        f"(on={t_on * 1e3:.2f} ms, off={t_off * 1e3:.2f} ms)"
+    )
+
+
+def test_guard_health_check_cost_is_linear():
+    """The health check itself must be O(N) array scans, not pair work."""
+    from repro.resilience.guard import StepGuard
+
+    sim = _make_sim(guarded=False)
+    sim.run(n_steps=1)
+    guard = StepGuard(GuardConfig())
+    stats = sim.history[-1]
+    rounds = 20
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        assert guard.check_health(sim, stats) == []
+    per_check = (time.perf_counter() - t0) / rounds
+    # Generous ceiling: a few ms for ~10 full-array scans at N=8000.
+    assert per_check < 0.05, f"health check took {per_check * 1e3:.1f} ms"

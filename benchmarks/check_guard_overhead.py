@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Gate the step-guard bench against its committed baseline.
+
+Checks a fresh ``benchmarks/results/BENCH_guard.json`` twice:
+
+1. **Absolute budget** — fault-free guard overhead must stay within the
+   3% contract (plus a small absolute slack already applied by the
+   bench; this gate re-checks the recorded ratio).
+2. **Relative drift** — the overhead may not exceed the committed
+   ``benchmarks/baselines/BENCH_guard.json`` by more than 2 percentage
+   points (overhead is a ratio measured within one run on one host, so
+   absolute machine speed cancels).
+
+Skips (exit 0 with a notice) on a shrunken smoke workload, where the
+fixed-cost fraction is not representative of N=8000.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ABSOLUTE_BUDGET = 0.03  # the acceptance contract at N=8000
+DRIFT_POINTS = 0.02  # allowed worsening vs baseline (percentage points)
+NOISE_FLOOR = 0.0  # negative measured overhead is clamped to zero
+
+ROOT = Path(__file__).parent
+RESULT = ROOT / "results" / "BENCH_guard.json"
+BASELINE = ROOT / "baselines" / "BENCH_guard.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"no fresh result at {RESULT}; run bench_guard_micro first")
+        return 1
+    current = json.loads(RESULT.read_text())
+    baseline = json.loads(BASELINE.read_text())
+
+    if not current.get("target_applies", False):
+        print(
+            "skipping guard overhead gate: shrunken workload "
+            f"(N={current['n_particles']})"
+        )
+        return 0
+
+    now = max(NOISE_FLOOR, current["relative_overhead"])
+    ref = max(NOISE_FLOOR, baseline["relative_overhead"])
+    limit = min(ABSOLUTE_BUDGET, ref + DRIFT_POINTS)
+    verdict = "OK" if now <= limit else "REGRESSION"
+    print(
+        f"guard overhead: {now * 100:.2f}% "
+        f"(baseline {ref * 100:.2f}%, limit {limit * 100:.2f}%) -> {verdict}"
+    )
+    if now > limit:
+        print(
+            f"fault-free guard overhead worsened to {now * 100:.2f}% "
+            f"(absolute budget {ABSOLUTE_BUDGET * 100:.0f}%, drift allowance "
+            f"+{DRIFT_POINTS * 100:.0f} points over baseline)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

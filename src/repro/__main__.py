@@ -71,6 +71,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         timestep_params=needs.timestep_params,
         viscosity=needs.viscosity,
     )
+    if args.error_detection:
+        config = config.with_(error_detection=True)
+
+    # Execution environment: self-healing guard, rolling checkpoints and
+    # (for validation runs) deterministic numerical fault injection.
+    from .core.config import RunConfig
+
+    run_config = RunConfig()
+    if args.guard:
+        from .resilience.guard import GuardConfig
+
+        run_config = run_config.with_(
+            guard=GuardConfig(drift_tolerances=scenario.invariants)
+        )
+    if args.checkpoint_dir is not None:
+        from .resilience.checkpoint import ResilienceConfig
+
+        run_config = run_config.with_(
+            resilience=ResilienceConfig(checkpoint_dir=args.checkpoint_dir)
+        )
+    if args.chaos is not None:
+        from .resilience.chaos import parse_numerical_faults
+
+        try:
+            run_config = run_config.with_(
+                numerical_chaos=parse_numerical_faults(args.chaos)
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     particles, box, eos = scenario.build(**overrides)
     print(f"{args.case}: {particles.n} particles, preset {preset.label}")
@@ -78,16 +108,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     n_steps = args.steps if args.steps is not None else scenario.default_steps
     sim = Simulation(
-        particles, box, eos, config=config, g_const=scenario.g_const
+        particles, box, eos, config=config, g_const=scenario.g_const,
+        run_config=run_config,
     )
     try:
-        for _ in range(n_steps):
-            s = sim.step()
-            print(f"  step {s.index}: t={s.time:.4e} dt={s.dt:.2e} "
-                  f"{s.conservation.summary()}")
+        try:
+            # One run() call per step keeps the per-step progress lines
+            # while routing through the guard/autoresume dispatch.
+            for _ in range(n_steps):
+                for s in sim.run(n_steps=1):
+                    print(f"  step {s.index}: t={s.time:.4e} dt={s.dt:.2e} "
+                          f"{s.conservation.summary()}")
+        except Exception as exc:  # noqa: BLE001 - the CLI failure boundary
+            return _report_failure(sim, exc, scenario, args)
         drift = sim.conservation_drift()
         print(f"drift: mass={drift['mass']:.2e} momentum={drift['momentum']:.2e} "
               f"energy={drift['energy']:.2e}")
+        rep = sim.report()
+        if rep.guard is not None:
+            print(rep.guard.summary())
         if args.json:
             summary = {
                 "scenario": scenario.name,
@@ -97,11 +136,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "final_time": sim.time,
                 "final_dt": sim.history[-1].dt if sim.history else None,
                 "drift": drift,
+                "guard": rep.guard.as_dict() if rep.guard is not None else None,
+                "sdc": rep.sdc,
             }
             print(json.dumps(summary, indent=2))
     finally:
         sim.close()
     return 0
+
+
+def _report_failure(sim, exc, scenario, args) -> int:
+    """Failure UX: one readable paragraph + optional JSON record, exit 1.
+
+    A dying run — guard-terminal or any other step-loop error — must not
+    greet the operator with a raw traceback.  The guard's structured
+    post-mortem is used when available; other exceptions get a paragraph
+    built from the driver's position.
+    """
+    from .resilience.guard import UnrecoverableStepError
+
+    if isinstance(exc, UnrecoverableStepError):
+        pm = exc.post_mortem
+        paragraph = pm.describe()
+        record = {"error": "unrecoverable-step", "post_mortem": pm.as_dict()}
+    else:
+        paragraph = (
+            f"step {sim.step_index} (t={sim.time:.6g}) failed with "
+            f"{type(exc).__name__}: {exc}. The run completed "
+            f"{len(sim.history)} healthy step(s) before dying; re-run "
+            f"with --guard to enable rollback-and-retry recovery."
+        )
+        record = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "step": sim.step_index,
+            "time": sim.time,
+        }
+    print(f"error: run failed — {paragraph}", file=sys.stderr)
+    if args.json:
+        record["scenario"] = scenario.name
+        guard = sim.step_guard.report() if sim.step_guard is not None else None
+        record["guard"] = guard.as_dict() if guard is not None else None
+        print(json.dumps(record, indent=2))
+    return 1
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -204,6 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--neighbors", type=int, default=None)
     run.add_argument("--json", action="store_true",
                      help="print a machine-readable run summary")
+    run.add_argument("--guard", action="store_true",
+                     help="enable the self-healing step guard (rollback-"
+                          "and-retry with the scenario's invariant bounds)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="write rolling checkpoints to DIR (autoresume on)")
+    run.add_argument("--chaos", default=None, metavar="SPEC",
+                     help="inject numerical faults: kind:array@step"
+                          "[:site][*fires][!] (e.g. nan:rho@3, huge:cs@4, "
+                          "nan:rho@2! for a persistent fault)")
+    run.add_argument("--error-detection", action="store_true",
+                     help="run the per-step SDC monitor (Table 4)")
     run.set_defaults(func=_cmd_run)
 
     scen = sub.add_parser("scenarios", help="list the scenario registry")

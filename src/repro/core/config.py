@@ -20,7 +20,9 @@ from ..timestepping.criteria import TimestepParams
 
 if TYPE_CHECKING:  # avoid the core <-> parallel/resilience import cycles
     from ..parallel.executor import ExecConfig
+    from ..resilience.chaos import NumericalChaosPolicy
     from ..resilience.checkpoint import ResilienceConfig
+    from ..resilience.guard import GuardConfig
 
 __all__ = [
     "KERNEL_CHOICES",
@@ -156,6 +158,15 @@ class RunConfig:
         :class:`~repro.observability.config.ObservabilityConfig` — span
         tracing and exporters.  On by default; ``enabled=False`` swaps in
         the no-op tracer.
+    guard:
+        :class:`~repro.resilience.guard.GuardConfig` — the self-healing
+        step guard (snapshot ring + health checks + degradation ladder).
+        ``None`` disables guarding; ``run()`` then calls ``step()``
+        directly as before.
+    numerical_chaos:
+        :class:`~repro.resilience.chaos.NumericalChaosPolicy` —
+        deterministic numerical fault injection into the step loop
+        (test/validation tool; ``None`` in production runs).
     """
 
     exec: Optional["ExecConfig"] = None
@@ -163,6 +174,8 @@ class RunConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    guard: Optional["GuardConfig"] = None
+    numerical_chaos: Optional["NumericalChaosPolicy"] = None
 
     def with_(self, **kwargs) -> "RunConfig":
         """Functional update (frozen dataclass convenience)."""

@@ -232,6 +232,17 @@ class Simulation:
             from ..resilience.checkpoint import CheckpointManager
 
             self.checkpoint_manager = CheckpointManager(run.resilience)
+        # Self-healing step guard + driver-level numerical chaos.  With a
+        # guard, ``run()`` routes every step through
+        # ``StepGuard.guarded_step`` and the checkpoint hook moves behind
+        # the health check (so disk checkpoints never capture a poisoned
+        # state).
+        self.numerical_chaos = run.numerical_chaos
+        self.step_guard = None
+        if run.guard is not None:
+            from ..resilience.guard import StepGuard
+
+            self.step_guard = StepGuard(run.guard)
 
     def configure(
         self,
@@ -239,6 +250,8 @@ class Simulation:
         exec: Optional["ExecConfig"] = None,
         resilience: Optional["ResilienceConfig"] = None,
         observability=None,
+        guard=None,
+        numerical_chaos=None,
     ) -> "Simulation":
         """Swap parts of the execution environment before the first step.
 
@@ -261,6 +274,10 @@ class Simulation:
             run = run.with_(resilience=resilience)
         if observability is not None:
             run = run.with_(observability=observability)
+        if guard is not None:
+            run = run.with_(guard=guard)
+        if numerical_chaos is not None:
+            run = run.with_(numerical_chaos=numerical_chaos)
         self.run_config = run
         self._apply_run_config()
         return self
@@ -529,6 +546,7 @@ class Simulation:
     def _step_impl(self) -> StepStats:
         p = self.particles
         tr = self.tracer
+        step_at_entry = self.step_index  # chaos faults key on this index
         pair_snap = self._pair_stats_total().snapshot()
         if self._engine is not None:
             # Chaos events and recovery logs are keyed by driver step.
@@ -548,6 +566,8 @@ class Simulation:
             drift(p, dt, self.box)
 
         self.compute_rates()
+        if self.numerical_chaos is not None:
+            self.numerical_chaos.apply(step_at_entry, "rates", p)
 
         floor_hits = 0
         with tr.phase(Phase.TIMESTEP_UPDATE.letter, State.USEFUL, self.rank):
@@ -585,8 +605,13 @@ class Simulation:
             pair_bytes_reused=pair_delta["bytes_reused"],
         )
         self.history.append(stats)
-        if self.checkpoint_manager is not None:
+        # With a step guard the checkpoint hook runs *after* the health
+        # check (inside guarded_step) so a rolling checkpoint can never
+        # capture a state the guard is about to reject.
+        if self.checkpoint_manager is not None and self.step_guard is None:
             self.checkpoint_manager.after_step(self)
+        if self.numerical_chaos is not None:
+            self.numerical_chaos.apply(step_at_entry, "post", p)
         return stats
 
     def run(
@@ -612,8 +637,27 @@ class Simulation:
                 break
             if t_end is not None and self.time >= t_end:
                 break
-            done.append(self.step())
+            if self.step_guard is not None:
+                done.append(self.step_guard.guarded_step(self))
+            else:
+                done.append(self.step())
         return done
+
+    def degrade_to_serial(self) -> None:
+        """Drop to the plain serial path: pool off, pair engine off.
+
+        Both are bitwise-neutral (the serial reference produces identical
+        results), so this is a safe degradation rung: it sheds the
+        optimized machinery in case that machinery is the corruptor.
+        Idempotent; there is no un-degrade short of ``configure()``.
+        """
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+        self._pair_ctx = None
+        self._pair_tokens = (None, None, None)
+        self._pair_state_obj = None
+        self._pair_state_epochs = ()
 
     # ------------------------------------------------------------------
     def resume(self, path=None) -> bool:
@@ -625,7 +669,11 @@ class Simulation:
         neighbour cache is invalidated so lists rebuild from the restored
         positions.
         """
-        from ..resilience.checkpoint import find_latest_checkpoint, read_checkpoint
+        from ..resilience.checkpoint import (
+            find_latest_checkpoint,
+            read_checkpoint,
+            retry_io,
+        )
 
         if path is None:
             if self.resilience is None:
@@ -633,7 +681,19 @@ class Simulation:
             path = find_latest_checkpoint(self.resilience.checkpoint_dir)
             if path is None:
                 return False
-        read_checkpoint(path).restore_into(self)
+        res = self.resilience
+        io_chaos = (
+            self.checkpoint_manager.io_chaos
+            if self.checkpoint_manager is not None
+            else None
+        )
+        cp = retry_io(
+            lambda: read_checkpoint(path, io_chaos=io_chaos),
+            attempts=res.io_retries if res is not None else 1,
+            backoff=res.io_backoff if res is not None else 0.0,
+            what=f"checkpoint restore from {path}",
+        )
+        cp.restore_into(self)
         return True
 
     # ------------------------------------------------------------------
@@ -691,6 +751,18 @@ class Simulation:
         if self.checkpoint_manager is not None:
             checkpoint = self.checkpoint_manager.stats()
             reg.absorb("checkpoint", checkpoint)
+        guard = None
+        if self.step_guard is not None:
+            guard = self.step_guard.report()
+            reg.absorb("guard", guard.counters())
+        sdc = None
+        if self._sdc_monitor is not None:
+            sdc = {
+                "checks_run": self._sdc_monitor.checks_run,
+                "detections": self._sdc_monitor.detections,
+                "findings": len(self.sdc_findings),
+            }
+            reg.absorb("sdc", sdc)
         tr = self.tracer
         pop = None
         if getattr(tr, "enabled", False) and tr.events:
@@ -705,6 +777,8 @@ class Simulation:
             neighbor_cache=ncache,
             recovery=recovery,
             checkpoint=checkpoint,
+            guard=guard,
+            sdc=sdc,
             pop=pop,
             counters=reg.as_dict(),
         )

@@ -47,6 +47,11 @@ class RunReport:
     neighbor_cache: Optional[Dict[str, float]] = None
     recovery: Optional[Dict[str, float]] = None
     checkpoint: Optional[Dict[str, float]] = None
+    #: Step-guard activity (a ``repro.resilience.guard.GuardReport`` —
+    #: duck-typed here to keep observability import-free of resilience).
+    guard: Optional[object] = None
+    #: SdcMonitor totals when Table-4 error detection is enabled.
+    sdc: Optional[Dict[str, int]] = None
     pop: Optional[PopMetrics] = None
     counters: Dict[str, float] = field(default_factory=dict)
 
@@ -62,6 +67,10 @@ class RunReport:
             ),
             "recovery": dict(self.recovery) if self.recovery else None,
             "checkpoint": dict(self.checkpoint) if self.checkpoint else None,
+            "guard": (
+                self.guard.as_dict() if self.guard is not None else None
+            ),
+            "sdc": dict(self.sdc) if self.sdc else None,
             "pop": asdict(self.pop) if self.pop is not None else None,
             "counters": dict(self.counters),
         }
@@ -82,6 +91,14 @@ class RunReport:
             lines.append(
                 f"checkpoint: writes={self.checkpoint.get('writes', 0)} "
                 f"last_write={self.checkpoint.get('last_write_seconds', 0.0):.4f}s"
+            )
+        if self.guard is not None:
+            lines.append(self.guard.summary())
+        if self.sdc is not None:
+            lines.append(
+                f"sdc: checks={self.sdc.get('checks_run', 0)} "
+                f"detections={self.sdc.get('detections', 0)} "
+                f"findings={self.sdc.get('findings', 0)}"
             )
         if self.pop is not None:
             lines.append(self.pop.row().strip())

@@ -18,15 +18,32 @@ from .abft import (
     checksummed_reduce,
     pairwise_antisymmetry_check,
 )
-from .chaos import ChaosEvent, ChaosPolicy, random_policy
+from .chaos import (
+    ChaosEvent,
+    ChaosPolicy,
+    CheckpointIOChaos,
+    NumericalChaosPolicy,
+    NumericalFault,
+    parse_numerical_faults,
+    random_policy,
+)
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
+    CheckpointIOError,
     CheckpointManager,
     ResilienceConfig,
     find_latest_checkpoint,
     read_checkpoint,
+    retry_io,
     write_checkpoint,
+)
+from .guard import (
+    GuardConfig,
+    GuardReport,
+    PostMortem,
+    StepGuard,
+    UnrecoverableStepError,
 )
 from .failures import (
     FailStopInjector,
@@ -60,14 +77,25 @@ __all__ = [
     "pairwise_antisymmetry_check",
     "Checkpoint",
     "CheckpointError",
+    "CheckpointIOError",
     "CheckpointManager",
     "ResilienceConfig",
     "write_checkpoint",
     "read_checkpoint",
+    "retry_io",
     "find_latest_checkpoint",
     "ChaosEvent",
     "ChaosPolicy",
+    "CheckpointIOChaos",
+    "NumericalChaosPolicy",
+    "NumericalFault",
+    "parse_numerical_faults",
     "random_policy",
+    "GuardConfig",
+    "GuardReport",
+    "PostMortem",
+    "StepGuard",
+    "UnrecoverableStepError",
     "young_interval",
     "daly_interval",
     "expected_waste",

@@ -43,6 +43,8 @@ from .interval import young_interval
 __all__ = [
     "Checkpoint",
     "CheckpointError",
+    "CheckpointIOError",
+    "retry_io",
     "write_checkpoint",
     "read_checkpoint",
     "find_latest_checkpoint",
@@ -56,6 +58,42 @@ _VERSION = 1
 
 class CheckpointError(RuntimeError):
     """Raised when a checkpoint is missing, corrupt, or incompatible."""
+
+
+class CheckpointIOError(CheckpointError):
+    """Terminal I/O failure: every retry of a checkpoint read/write failed.
+
+    Carries the last underlying ``OSError`` as ``__cause__`` and a
+    message naming the operation and the attempt budget, so a run that
+    dies on a genuinely broken filesystem reports *what* was exhausted
+    instead of a mid-write traceback.
+    """
+
+
+def retry_io(fn, *, attempts: int = 3, backoff: float = 0.0, what: str = "checkpoint I/O"):
+    """Run ``fn`` retrying transient ``OSError`` with exponential backoff.
+
+    Disk-full, ``EINTR`` and friends are frequently transient at exascale
+    job-farm scale; ``attempts`` tries are made with ``backoff * 2**k``
+    seconds between them before giving up with a terminal
+    :class:`CheckpointIOError`.  Non-``OSError`` exceptions (including
+    :class:`CheckpointError` corruption findings) propagate immediately —
+    retrying cannot fix a bad CRC.
+    """
+    attempts = max(1, int(attempts))
+    last: Optional[OSError] = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except CheckpointIOError:
+            raise  # already-wrapped terminal failure from a nested retry
+        except OSError as exc:
+            last = exc
+            if backoff > 0.0 and attempt + 1 < attempts:
+                _time.sleep(backoff * (2 ** attempt))
+    raise CheckpointIOError(
+        f"{what} failed after {attempts} attempt(s): {last}"
+    ) from last
 
 
 @dataclass
@@ -173,8 +211,13 @@ class Checkpoint:
             ncache.invalidate()
 
 
-def write_checkpoint(path: str | Path, cp: Checkpoint) -> int:
-    """Serialize a checkpoint with per-array CRCs; returns bytes written."""
+def write_checkpoint(path: str | Path, cp: Checkpoint, *, io_chaos=None) -> int:
+    """Serialize a checkpoint with per-array CRCs; returns bytes written.
+
+    ``io_chaos`` is a test hook (:class:`~repro.resilience.chaos
+    .CheckpointIOChaos`) injecting transient ``OSError`` at the write
+    boundary; production callers leave it ``None``.
+    """
     path = Path(path)
     arrays = dict(cp.particles.state_arrays())
     header = {
@@ -201,28 +244,44 @@ def write_checkpoint(path: str | Path, cp: Checkpoint) -> int:
             buf.write(raw)
     payload = buf.getvalue()
     head = json.dumps(header).encode()
-    _atomic_write(path, [len(head).to_bytes(8, "little"), head, payload])
+    _atomic_write(
+        path, [len(head).to_bytes(8, "little"), head, payload], io_chaos=io_chaos
+    )
     return 8 + len(head) + len(payload)
 
 
-def _atomic_write(path: Path, parts: List[bytes]) -> None:
+def _atomic_write(path: Path, parts: List[bytes], *, io_chaos=None) -> None:
     """Crash-safe file replacement: ``*.tmp`` + fsync + ``os.replace``.
 
     A crash mid-write leaves only the tmp file; the destination is either
     absent, the previous complete version, or the new complete version.
+    A failed write cleans its tmp file up, so the previous rolling
+    checkpoint stays the one and only artifact until the replacement is
+    fully fsynced and renamed into place.
     """
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as f:
-        for part in parts:
-            f.write(part)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    try:
+        if io_chaos is not None:
+            io_chaos.check("write")
+        with open(tmp, "wb") as f:
+            for part in parts:
+                f.write(part)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
 
 
-def read_checkpoint(path: str | Path) -> Checkpoint:
+def read_checkpoint(path: str | Path, *, io_chaos=None) -> Checkpoint:
     """Read and verify a checkpoint; raises :class:`CheckpointError`."""
     path = Path(path)
+    if io_chaos is not None:
+        io_chaos.check("read")
     if not path.exists():
         raise CheckpointError(f"no checkpoint at {path}")
     file_size = path.stat().st_size
@@ -329,6 +388,11 @@ class ResilienceConfig:
         (when one exists) before stepping.
     mtbf:
         Assumed mean time between failures in seconds (auto mode only).
+    io_retries:
+        Attempts per checkpoint write/restore before the transient
+        ``OSError`` is declared terminal (:class:`CheckpointIOError`).
+    io_backoff:
+        Base seconds of the exponential backoff between I/O retries.
     """
 
     checkpoint_dir: str = "checkpoints"
@@ -336,6 +400,8 @@ class ResilienceConfig:
     keep: int = 2
     autoresume: bool = True
     mtbf: float = 3600.0
+    io_retries: int = 3
+    io_backoff: float = 0.02
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 0:
@@ -344,6 +410,10 @@ class ResilienceConfig:
             raise ValueError("keep must be >= 1")
         if self.mtbf <= 0.0:
             raise ValueError("mtbf must be positive")
+        if self.io_retries < 1:
+            raise ValueError("io_retries must be >= 1")
+        if self.io_backoff < 0.0:
+            raise ValueError("io_backoff must be >= 0")
 
 
 @dataclass
@@ -361,6 +431,10 @@ class CheckpointManager:
     checkpoints_written: int = 0
     last_write_seconds: float = 0.0
     last_path: Optional[Path] = None
+    #: Transient write failures absorbed by the retry loop.
+    io_retries_used: int = 0
+    #: Test hook: :class:`~repro.resilience.chaos.CheckpointIOChaos`.
+    io_chaos: Optional[object] = None
     _step_ewma: Optional[float] = field(default=None, repr=False)
     _last_step_end: Optional[float] = field(default=None, repr=False)
 
@@ -406,10 +480,28 @@ class CheckpointManager:
             if tracer is not None
             else nullcontext()
         )
+        cp = Checkpoint.of_simulation(sim)
+        tries = {"n": 0}
+
+        def _write() -> None:
+            tries["n"] += 1
+            write_checkpoint(path, cp, io_chaos=self.io_chaos)
+            _atomic_write(
+                self.directory / _LATEST, [path.name.encode()],
+                io_chaos=self.io_chaos,
+            )
+
         start = _time.perf_counter()
-        with span:
-            write_checkpoint(path, Checkpoint.of_simulation(sim))
-            _atomic_write(self.directory / _LATEST, [path.name.encode()])
+        try:
+            with span:
+                retry_io(
+                    _write,
+                    attempts=self.config.io_retries,
+                    backoff=self.config.io_backoff,
+                    what=f"checkpoint write to {path}",
+                )
+        finally:
+            self.io_retries_used += max(0, tries["n"] - 1)
         self.last_write_seconds = _time.perf_counter() - start
         self._last_step_end = _time.perf_counter()  # exclude ckpt from step EWMA
         self.last_path = path
@@ -424,6 +516,7 @@ class CheckpointManager:
             "writes": self.checkpoints_written,
             "last_write_seconds": self.last_write_seconds,
             "interval_steps": self.interval_steps(),
+            "io_retries": self.io_retries_used,
         }
 
     def _prune(self) -> None:

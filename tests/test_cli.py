@@ -122,3 +122,90 @@ def test_scenarios_json_schema(capsys):
     assert {"sedov", "sod", "noh", "gresho"} <= set(gated)
     for gate in gated.values():
         assert set(gate) == {"fields", "tolerances", "n_steps"}
+
+
+# --- self-healing guard / failure UX ------------------------------------
+
+
+def test_run_guard_heals_injected_fault(capsys):
+    rc = main(["run", "square-patch", "--side", "6", "--layers", "4",
+               "--steps", "4", "--guard", "--chaos", "nan:rho@2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "guard:" in out and "failures=1" in out
+    assert "healed[retry=1]" in out
+
+
+def test_run_guard_json_includes_guard_and_sdc(capsys):
+    import json
+
+    rc = main(["run", "square-patch", "--side", "6", "--layers", "4",
+               "--steps", "3", "--guard", "--error-detection", "--json"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out[out.index("{"):])
+    assert summary["guard"]["failures"] == 0
+    assert summary["guard"]["checks"] == 3
+    assert summary["sdc"]["checks_run"] == 3
+    assert summary["sdc"]["detections"] == 0
+
+
+def test_run_terminal_failure_exits_1_with_post_mortem(capsys):
+    rc = main(["run", "square-patch", "--side", "6", "--layers", "4",
+               "--steps", "4", "--guard", "--chaos", "nan:rho@2!"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    err = captured.err
+    # One readable paragraph, not a traceback.
+    assert "Traceback" not in err and "Traceback" not in captured.out
+    assert "degradation" in err
+    assert "step 2" in err
+    assert "retry" in err and "checkpoint-restore" in err
+
+
+def test_run_terminal_failure_json_record(capsys):
+    import json
+
+    rc = main(["run", "square-patch", "--side", "6", "--layers", "4",
+               "--steps", "4", "--guard", "--chaos", "nan:rho@2!", "--json"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    record = json.loads(out[out.index("{"):])
+    assert record["error"] == "unrecoverable-step"
+    pm = record["post_mortem"]
+    assert pm["step"] == 2
+    assert "checkpoint-restore" in pm["rungs_tried"]
+    assert record["guard"]["terminal"] is True
+    assert record["scenario"] == "square-patch"
+
+
+def test_run_unguarded_failure_exits_1_without_traceback(capsys):
+    # Without the guard, a persistent NaN aborts via the dt check; the
+    # CLI must still die with a paragraph, not a stack trace.
+    rc = main(["run", "square-patch", "--side", "6", "--layers", "4",
+               "--steps", "8", "--chaos", "nan:rho@2!"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "--guard" in captured.err  # the hint to enable self-healing
+
+
+def test_run_bad_chaos_spec_exits_2(capsys):
+    rc = main(["run", "square-patch", "--side", "6", "--layers", "4",
+               "--steps", "1", "--chaos", "frobnicate"])
+    assert rc == 2
+    assert "fault spec" in capsys.readouterr().err
+
+
+def test_run_guard_with_checkpoint_dir(tmp_path, capsys):
+    ckpt_dir = str(tmp_path / "ckpts")
+    rc = main(["run", "square-patch", "--side", "6", "--layers", "4",
+               "--steps", "4", "--guard", "--checkpoint-dir", ckpt_dir,
+               "--chaos", "nan:rho@2!"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    # The ladder exhausted (persistent fault) but left a restart file.
+    assert "last-resort checkpoint" in err
+    from repro.resilience.checkpoint import find_latest_checkpoint
+
+    assert find_latest_checkpoint(ckpt_dir) is not None
