@@ -1,0 +1,154 @@
+"""Micro-benchmark of the compiled backend hot path at N=8e3.
+
+Times one full serial step on the square patch (pair engine + neighbor
+cache on — the canonical hot-path configuration) for the numpy
+reference and every compiled backend constructible on this host.  For
+each backend the *first* step (which pays JIT compilation / shared
+-library build plus the initial list build) is recorded separately from
+the steady-state best-of-``TIMED_STEPS`` time, and the resolved
+toolchain provenance (``Backend.describe()``) is embedded next to the
+numbers so results from different hosts or backends are never mistaken
+for each other.
+
+Everything lands in ``benchmarks/results/BENCH_backend.json``.  The
+committed baseline ``benchmarks/baselines/BENCH_backend.json`` pins the
+normalized step time (compiled / numpy ratio, measured within one run
+so absolute machine speed cancels); CI's backend job fails when the
+ratio regresses by more than 10% (``check_backend_regression.py``).
+
+The 10x speedup target is a *serial* claim about replacing the
+vectorized many-pass pair loop with fused compiled passes, so it needs
+no extra cores — but it does need enough pairs for per-pair work to
+dominate fixed overheads, so the assertion is gated on the workload
+size (N >= 8000; shrink via ``REPRO_BENCH_BACKEND_SIDE`` for smoke runs
+and the gate lifts) and on a compiled backend actually existing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.backend import available_backends, select_backend
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.ics.square_patch import SquarePatchConfig, make_square_patch
+from repro.parallel import ExecConfig
+from repro.timestepping.steppers import TimestepParams
+
+#: patch side AND layer count; 20 x 20 x 20 = 8000 particles.
+SIDE = int(os.environ.get("REPRO_BENCH_BACKEND_SIDE", "20"))
+WARMUP_STEPS = 2  # after the timed first step: lists cached, arena grown
+TIMED_STEPS = 3
+TARGET_SPEEDUP = 10.0
+
+
+def _make_sim(backend: str) -> Simulation:
+    particles, box, eos = make_square_patch(
+        SquarePatchConfig(side=SIDE, layers=SIDE)
+    )
+    config = SimulationConfig().with_(
+        n_neighbors=30,
+        timestep_params=TimestepParams(use_energy_criterion=False),
+    )
+    exec_config = ExecConfig(
+        workers=0, neighbor_cache=True, pair_engine=True, backend=backend
+    )
+    return Simulation(
+        particles, box, eos, config=config, exec_config=exec_config
+    )
+
+
+def _measure(backend: str) -> dict:
+    """First-step (warmup) and steady-state step times for one backend."""
+    sim = _make_sim(backend)
+    try:
+        t0 = time.perf_counter()
+        sim.step()
+        first = time.perf_counter() - t0
+        for _ in range(WARMUP_STEPS):
+            sim.step()
+        steady = np.inf
+        for _ in range(TIMED_STEPS):
+            t0 = time.perf_counter()
+            sim.step()
+            steady = min(steady, time.perf_counter() - t0)
+        return {
+            "provenance": sim.backend.describe(),
+            "resolved": sim.backend.name,
+            "first_step_s": first,
+            "steady_step_s": steady,
+            "n_particles": sim.particles.n,
+        }
+    finally:
+        sim.close()
+
+
+def test_backend_micro(report, results_dir):
+    availability = available_backends()
+    compiled = [n for n in ("numba", "cffi") if availability[n]]
+
+    results = {"numpy": _measure("numpy")}
+    for name in compiled:
+        results[name] = _measure(name)
+
+    t_ref = results["numpy"]["steady_step_s"]
+    n = results["numpy"]["n_particles"]
+    best_name, best = None, None
+    for name in compiled:
+        if best is None or results[name]["steady_step_s"] < best:
+            best_name, best = name, results[name]["steady_step_s"]
+
+    speedup = (t_ref / best) if best else 0.0
+    target_applies = n >= 8000 and best_name is not None
+    record = {
+        "case": "square patch, serial full step, compiled vs numpy backend",
+        "n_particles": n,
+        "warmup_steps": WARMUP_STEPS,
+        "timed_steps": TIMED_STEPS,
+        "cpu_count": os.cpu_count(),
+        "availability": availability,
+        "backends": results,
+        "reference": "numpy",
+        "best_compiled": best_name,
+        "speedup": speedup,
+        "normalized_step_time": (best / t_ref) if best else None,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_applies": target_applies,
+    }
+    (results_dir / "BENCH_backend.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    lines = [f"backend micro-benchmark (N={n}, serial full step)"]
+    for name, res in results.items():
+        prov = res["provenance"]
+        lines.append(
+            f"  {name:6s}: first {res['first_step_s'] * 1e3:8.1f} ms "
+            f"(warmup incl. compile), steady "
+            f"{res['steady_step_s'] * 1e3:8.2f} ms/step  "
+            f"[{prov['version']}]"
+        )
+    if best_name:
+        lines.append(
+            f"  speedup ({best_name} vs numpy): {speedup:5.2f}x "
+            f"(target >= {TARGET_SPEEDUP:.0f}x at N >= 8000)"
+        )
+    else:
+        lines.append("  no compiled backend available on this host")
+    report("BENCH_backend", "\n".join(lines))
+
+    assert np.isfinite(t_ref) and t_ref > 0.0
+    for name in compiled:
+        assert results[name]["resolved"] == name, (
+            f"requested backend {name!r} silently resolved to "
+            f"{results[name]['resolved']!r}"
+        )
+    if target_applies:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"compiled backend speedup {speedup:.2f}x below the "
+            f"{TARGET_SPEEDUP:.0f}x acceptance threshold at N={n}"
+        )

@@ -34,6 +34,10 @@ from repro.timestepping.steppers import TimestepParams
 
 #: patch side AND layer count; 20 x 20 x 20 = 8000 particles.
 PAIR_SIDE = int(os.environ.get("REPRO_BENCH_PAIR_SIDE", "20"))
+#: execution backend both arms run on; the committed baseline records
+#: which one produced it and the regression gate refuses cross-backend
+#: comparisons (a compiled measurement says nothing about numpy drift).
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "numpy")
 WARMUP_STEPS = 2
 TIMED_STEPS = 3
 
@@ -47,7 +51,8 @@ def _make_sim(pair_engine: bool) -> Simulation:
         timestep_params=TimestepParams(use_energy_criterion=False),
     )
     exec_config = ExecConfig(
-        workers=0, neighbor_cache=True, pair_engine=pair_engine
+        workers=0, neighbor_cache=True, pair_engine=pair_engine,
+        backend=BACKEND,
     )
     return Simulation(particles, box, eos, config=config, exec_config=exec_config)
 
@@ -68,6 +73,7 @@ def test_pair_engine_micro(report, results_dir):
     on = _make_sim(pair_engine=True)
     try:
         t_on = _time_steps(on)
+        backend_provenance = on.backend.describe()
         n = on.particles.n
         n_pairs = on.history[-1].n_pairs
         steady = on.history[-1]
@@ -92,6 +98,7 @@ def test_pair_engine_micro(report, results_dir):
         "warmup_steps": WARMUP_STEPS,
         "timed_steps": TIMED_STEPS,
         "cpu_count": os.cpu_count(),
+        "backend": backend_provenance,
         "t_step_engine_on_s": t_on,
         "t_step_engine_off_s": t_off,
         "speedup": speedup,
@@ -110,7 +117,8 @@ def test_pair_engine_micro(report, results_dir):
     report(
         "BENCH_pair_engine",
         (
-            f"pair-engine micro-benchmark (N={n}, {n_pairs} pairs, serial)\n"
+            f"pair-engine micro-benchmark (N={n}, {n_pairs} pairs, serial, "
+            f"backend={backend_provenance['name']})\n"
             f"  engine on : {t_on * 1e3:8.2f} ms/step "
             f"({steady.pair_geometry_computes} geometry computes, "
             f"{steady.pair_geometry_reuses} reuses, "

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Gate the backend bench against its committed baseline.
+
+Compares the *normalized* step time (compiled / numpy, measured within
+one run on one host — so absolute machine speed cancels) of a fresh
+``benchmarks/results/BENCH_backend.json`` against the committed
+``benchmarks/baselines/BENCH_backend.json`` and exits non-zero when the
+ratio regressed by more than 10%.
+
+Refuses to compare numbers measured on *different* compiled backends:
+the baseline pins one backend's ratio, and e.g. a numba measurement
+says nothing about a cffi regression.  A mismatch prints a notice and
+skips (exit 0) — CI hosts legitimately resolve different toolchains
+than the baseline host did.
+
+Also skips when the host cannot produce a meaningful measurement: no
+compiled backend, or a shrunken smoke workload.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 1.10  # fail on > 10% step-time regression
+
+ROOT = Path(__file__).parent
+RESULT = ROOT / "results" / "BENCH_backend.json"
+BASELINE = ROOT / "baselines" / "BENCH_backend.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"no fresh result at {RESULT}; run bench_backend_micro first")
+        return 1
+    current = json.loads(RESULT.read_text())
+    baseline = json.loads(BASELINE.read_text())
+
+    if not current.get("target_applies", False):
+        print(
+            "skipping regression gate: no compiled backend or shrunken "
+            f"workload (N={current['n_particles']}, "
+            f"best_compiled={current.get('best_compiled')})"
+        )
+        return 0
+
+    cur_backend = current.get("best_compiled")
+    ref_backend = baseline.get("best_compiled")
+    if cur_backend != ref_backend:
+        print(
+            "skipping regression gate: cross-backend comparison refused "
+            f"(fresh result measured {cur_backend!r}, baseline pinned "
+            f"{ref_backend!r})"
+        )
+        return 0
+
+    now = current["normalized_step_time"]
+    ref = baseline["normalized_step_time"]
+    limit = ref * TOLERANCE
+    verdict = "OK" if now <= limit else "REGRESSION"
+    print(
+        f"backend ({cur_backend}) normalized step time: {now:.4f} "
+        f"(baseline {ref:.4f}, limit {limit:.4f}) -> {verdict}"
+    )
+    if now > limit:
+        print(
+            f"compiled step time regressed {now / ref - 1.0:+.1%} "
+            f"vs baseline (tolerance +10%)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

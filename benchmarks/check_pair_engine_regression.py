@@ -9,7 +9,11 @@ non-zero when the ratio regressed by more than 10%.
 
 Skips (exit 0 with a notice) when the host cannot produce a meaningful
 measurement: fewer than 2 usable cores (shared CI runners at 1 core time
-mostly scheduler noise) or a shrunken smoke workload.
+mostly scheduler noise) or a shrunken smoke workload.  Also refuses to
+compare results measured on a different execution backend than the
+baseline's (records without a backend stamp predate the backend layer
+and count as "numpy") — the engine-on/off ratio of a compiled run says
+nothing about a numpy-path regression.
 """
 
 from __future__ import annotations
@@ -48,6 +52,16 @@ def main() -> int:
         print(
             "skipping regression gate: shrunken workload "
             f"(N={current['n_particles']})"
+        )
+        return 0
+
+    cur_backend = current.get("backend", {}).get("name", "numpy")
+    ref_backend = baseline.get("backend", {}).get("name", "numpy")
+    if cur_backend != ref_backend:
+        print(
+            "skipping regression gate: cross-backend comparison refused "
+            f"(fresh result measured on {cur_backend!r}, baseline on "
+            f"{ref_backend!r})"
         )
         return 0
 

@@ -91,6 +91,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_config = run_config.with_(
             resilience=ResilienceConfig(checkpoint_dir=args.checkpoint_dir)
         )
+    if args.backend is not None:
+        import dataclasses
+
+        from .parallel.executor import ExecConfig
+
+        base_exec = run_config.exec if run_config.exec is not None else ExecConfig()
+        run_config = run_config.with_(
+            exec=dataclasses.replace(base_exec, backend=args.backend)
+        )
     if args.chaos is not None:
         from .resilience.chaos import parse_numerical_faults
 
@@ -111,6 +120,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         particles, box, eos, config=config, g_const=scenario.g_const,
         run_config=run_config,
     )
+    print(f"backend: {sim.backend.name} "
+          f"(requested {sim.backend_requested}; {sim.backend.version})")
     try:
         try:
             # One run() call per step keeps the per-step progress lines
@@ -138,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "drift": drift,
                 "guard": rep.guard.as_dict() if rep.guard is not None else None,
                 "sdc": rep.sdc,
+                "backend": rep.backend,
             }
             print(json.dumps(summary, indent=2))
     finally:
@@ -279,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "depending on the scenario)")
     run.add_argument("--steps", type=int, default=None)
     run.add_argument("--neighbors", type=int, default=None)
+    run.add_argument("--backend", default=None,
+                     choices=("numpy", "numba", "cffi", "auto"),
+                     help="SPH hot-path execution backend (default numpy; "
+                          "'auto' picks the best compiled one available)")
     run.add_argument("--json", action="store_true",
                      help="print a machine-readable run summary")
     run.add_argument("--guard", action="store_true",

@@ -1,0 +1,157 @@
+"""Backend registry + dispatch for the compiled SPH hot path.
+
+Three execution backends stand behind every pair-loop phase:
+
+``numpy``
+    The reference.  ``Backend.ops is None`` and each phase runs its
+    original vectorized code — byte-for-byte the pre-backend behaviour.
+``numba``
+    JIT-compiled nopython mirrors (:mod:`repro.backend.numba_backend`).
+``cffi``
+    The same kernels as C, compiled at runtime with the system C
+    compiler (:mod:`repro.backend.cffi_backend`) — a compiled hot path
+    for hosts without numba.
+
+``auto`` resolves silently to the first available compiled backend
+(numba, then cffi) and falls back to numpy when neither toolchain
+exists.  Requesting a *specific* unavailable backend warns exactly once
+(:func:`repro.observability.deprecation.warn_once` with
+``RuntimeWarning``) and degrades to numpy — never a traceback.
+
+Selection is ``ExecConfig(backend=...)`` / ``--backend``; the resolved
+name + toolchain version land in ``RunReport.backend`` provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .base import (
+    BACKEND_CHOICES,
+    Backend,
+    BackendUnavailableError,
+    UnsupportedKernelError,
+    backend_ops,
+    kernel_spec,
+)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "Backend",
+    "BackendUnavailableError",
+    "UnsupportedKernelError",
+    "backend_ops",
+    "kernel_spec",
+    "select_backend",
+    "available_backends",
+]
+
+
+def _make_numpy() -> Backend:
+    import numpy
+
+    return Backend(
+        name="numpy", ops=None, version=f"numpy {numpy.__version__}",
+        detail="vectorized reference",
+    )
+
+
+def _make_numba() -> Backend:
+    from .compiled import CompiledOps
+    from .numba_backend import load_numba_impl
+
+    impl = load_numba_impl()
+    return Backend(
+        name="numba", ops=CompiledOps("numba", impl),
+        version=impl.version,
+        detail=f"threading_layer={impl.thread_layer}",
+    )
+
+
+def _make_cffi() -> Backend:
+    from .cffi_backend import load_cffi_impl
+    from .compiled import CompiledOps
+
+    impl = load_cffi_impl()
+    return Backend(
+        name="cffi", ops=CompiledOps("cffi", impl), version=impl.version,
+        detail="runtime-compiled C (ABI mode)",
+    )
+
+
+#: Factories, monkeypatchable in tests to fake unavailability.
+_FACTORIES: Dict[str, Callable[[], Backend]] = {
+    "numpy": _make_numpy,
+    "numba": _make_numba,
+    "cffi": _make_cffi,
+}
+
+#: Preference order for ``auto``: compiled first, reference last.
+_AUTO_ORDER = ("numba", "cffi", "numpy")
+
+_INSTANCES: Dict[str, Backend] = {}
+
+
+def _instantiate(name: str) -> Backend:
+    cached = _INSTANCES.get(name)
+    if cached is None:
+        cached = _INSTANCES[name] = _FACTORIES[name]()
+    return cached
+
+
+def select_backend(name: str = "numpy") -> Backend:
+    """Resolve a backend request to a usable :class:`Backend`.
+
+    Unknown names raise ``ValueError`` listing the choices.  ``auto``
+    silently picks the best available; a named-but-unavailable compiled
+    backend warns once per process and returns the numpy reference.
+    """
+    if name not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from "
+            f"{', '.join(BACKEND_CHOICES)}"
+        )
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    if name == "auto":
+        for candidate in _AUTO_ORDER:
+            try:
+                backend = _instantiate(candidate)
+                break
+            except BackendUnavailableError:
+                continue
+        else:  # pragma: no cover - numpy factory cannot fail
+            backend = _instantiate("numpy")
+    else:
+        try:
+            backend = _instantiate(name)
+        except BackendUnavailableError as exc:
+            from ..observability.deprecation import warn_once
+
+            warn_once(
+                f"backend-unavailable:{name}",
+                f"backend {name!r} is unavailable on this host ({exc}); "
+                f"falling back to the numpy reference",
+                category=RuntimeWarning,
+            )
+            backend = _instantiate("numpy")
+    _INSTANCES[name] = backend
+    return backend
+
+
+def available_backends() -> Dict[str, bool]:
+    """Map of backend name -> constructible on this host (probes lazily)."""
+    out: Dict[str, bool] = {}
+    for name in ("numpy", "numba", "cffi"):
+        try:
+            _instantiate(name)
+            out[name] = True
+        except BackendUnavailableError:
+            out[name] = False
+    return out
+
+
+def _reset_backends() -> None:
+    """Drop resolved instances (test isolation for fallback paths)."""
+    _INSTANCES.clear()

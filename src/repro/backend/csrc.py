@@ -1,0 +1,758 @@
+"""C source for the runtime-compiled (cffi) backend.
+
+One translation unit holding the fused pair-loop kernels.  Every loop
+mirrors the numpy reference arithmetic *operation for operation* (same
+association order, same special-case masks) so that:
+
+* pure-rational fields (``dx``, ``r``, the neighbour-count predicate
+  ``r <= 2*h[i]``) are **bitwise identical** to numpy — the smoothing
+  -length iteration therefore takes the same trajectory on every
+  backend;
+* transcendental-touched fields (kernel values, gradients, forces)
+  agree to a few ulp, gated by the documented backend tolerance.
+
+Design notes:
+
+* ``h``-dependent normalizations ``sigma/h**dim`` / ``sigma/h**(dim+1)``
+  arrive as precomputed per-particle arrays (``whn``/``whn1``) —
+  computed in Python with the same numpy ufuncs as the reference, which
+  removes ``pow`` from the inner loops *and* makes those factors
+  bitwise-equal by construction.
+* The minimum-image convention is branchless: per-axis ``psel`` (span
+  or 0) and ``pdiv`` (span or 1) turn the periodic wrap into
+  ``dx -= psel * rint(dx / pdiv)``, an exact no-op on open axes and a
+  bitwise mirror of ``out -= span * np.round(out / span)`` on periodic
+  ones (``np.round`` at 0 decimals is ``rint``: round half to even).
+* ``sin``/``cos`` for the sinc-family kernels use the shared Taylor
+  polynomials (:mod:`repro.backend.poly`) after an exact split-at-pi/2
+  reduction; integer powers use multiply chains.  No ``-ffast-math``
+  anywhere — the compiled backends are run at strict IEEE semantics.
+* Row accumulations walk each CSR row in ascending pair order, the same
+  order ``np.bincount`` applies its weights, so row sums match the
+  reference given identical per-pair values.
+"""
+
+from __future__ import annotations
+
+from .poly import COS_COEFFS, PI_LO, SIN_COEFFS
+
+__all__ = ["CDEF", "SOURCE", "source_fingerprint"]
+
+#: Declarations shared by ``ffi.cdef`` and (as documentation) the numba
+#: mirrors. ``want`` bits: 1 = W, 2 = dW/dr / r, 4 = dW/dh.  ``side``:
+#: 0 = evaluate with h[i] (row side), 1 = with h[j] (neighbour side).
+CDEF = """
+void rp_pair_kernel(const double *x, const double *h, const double *whn,
+                    const double *whn1, const int64_t *offsets,
+                    const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                    const double *psel, const double *pdiv, int kind,
+                    double p1, int want, int side, double *w, double *gs,
+                    double *dwdh);
+void rp_counts(const double *x, const double *h, const int64_t *offsets,
+               const int64_t *indices, int64_t n, int dim,
+               const double *psel, const double *pdiv, double factor,
+               int64_t *counts);
+void rp_rowsum(const int64_t *offsets, const int64_t *indices, int64_t lo,
+               int64_t hi, const double *wgt, const double *vals,
+               double *out);
+void rp_iad_tau(const double *x, const int64_t *offsets,
+                const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                const double *psel, const double *pdiv, const double *m,
+                const double *rho, const double *w, double *tau);
+void rp_div_curl(const double *x, const double *v, const int64_t *offsets,
+                 const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                 const double *psel, const double *pdiv, const double *m,
+                 const double *gs, double *divsum, double *curlsum);
+double rp_forces(const double *x, const double *v, const double *h,
+                 const double *m, const double *rho, const double *p_over,
+                 const double *cs, const int64_t *offsets,
+                 const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                 const double *psel, const double *pdiv, const double *wi,
+                 const double *wj, const double *gsi, const double *gsj,
+                 int use_iad, const double *cmat, const double *bals,
+                 int use_balsara, double alpha, double beta, double eta2,
+                 double support, int inline_j, int kind, double p1,
+                 const double *whn, const double *whn1, double *out_a,
+                 double *out_s1, double *out_s2);
+void rp_pair_gradients(const double *x, const int64_t *offsets,
+                       const int64_t *indices, int64_t lo, int64_t hi,
+                       int dim, const double *psel, const double *pdiv,
+                       const double *per_pair, int mode, const double *cmat,
+                       int side, double *out);
+void rp_radii(const double *x, const int64_t *offsets,
+              const int64_t *indices, int64_t lo, int64_t hi, int dim,
+              const double *psel, const double *pdiv, double *out_r);
+void rp_counts_r(const double *r, const double *h, const int64_t *offsets,
+                 int64_t n, double factor, int64_t *counts);
+void rp_filter_count(const int64_t *offsets, const int64_t *indices,
+                     const double *r, const double *h, int64_t n,
+                     double support, int64_t *kept);
+void rp_filter_fill(const int64_t *offsets, const int64_t *indices,
+                    const double *r, const double *h, int64_t n,
+                    double support, const int64_t *new_offsets,
+                    int64_t *new_indices);
+void rp_tau_inv(const double *tau, int64_t rows, int dim, double rcond,
+                double *out);
+"""
+
+
+def _literals(name: str, coeffs) -> str:
+    return "\n".join(
+        f"static const double {name}{k + 1} = {c!r};"
+        for k, c in enumerate(coeffs)
+    )
+
+
+_HELPERS = f"""
+#include <stdint.h>
+#include <math.h>
+
+static const double RP_PI_LO = {PI_LO!r};
+
+{_literals("RP_S", SIN_COEFFS)}
+{_literals("RP_C", COS_COEFFS)}
+
+/* sin(z) for z in [0, pi/2]: z + z*z2*Horner(S, z2). */
+static inline double rp_sinpoly(double z)
+{{
+    const double z2 = z * z;
+    double p = RP_S10;
+    p = RP_S9 + z2 * p;
+    p = RP_S8 + z2 * p;
+    p = RP_S7 + z2 * p;
+    p = RP_S6 + z2 * p;
+    p = RP_S5 + z2 * p;
+    p = RP_S4 + z2 * p;
+    p = RP_S3 + z2 * p;
+    p = RP_S2 + z2 * p;
+    p = RP_S1 + z2 * p;
+    return z + (z * z2) * p;
+}}
+
+/* cos(z) for z in [0, pi/2]: 1 + z2*Horner(C, z2). */
+static inline double rp_cospoly(double z)
+{{
+    const double z2 = z * z;
+    double p = RP_C10;
+    p = RP_C9 + z2 * p;
+    p = RP_C8 + z2 * p;
+    p = RP_C7 + z2 * p;
+    p = RP_C6 + z2 * p;
+    p = RP_C5 + z2 * p;
+    p = RP_C4 + z2 * p;
+    p = RP_C3 + z2 * p;
+    p = RP_C2 + z2 * p;
+    p = RP_C1 + z2 * p;
+    return 1.0 + z2 * p;
+}}
+
+/* sin and cos of x in [0, pi): reflect about pi/2 with a two-part pi so
+ * relative accuracy survives at both ends of the interval. */
+static inline void rp_sincos(double x, double *sx, double *cx)
+{{
+    if (x <= M_PI_2) {{
+        *sx = rp_sinpoly(x);
+        *cx = rp_cospoly(x);
+    }} else {{
+        const double z = (M_PI - x) + RP_PI_LO;
+        *sx = rp_sinpoly(z);
+        *cx = -rp_cospoly(z);
+    }}
+}}
+
+/* a**n for small non-negative integer n by binary multiply chain. */
+static inline double rp_powi(double a, int n)
+{{
+    double r = 1.0;
+    while (n > 0) {{
+        if (n & 1)
+            r *= a;
+        a *= a;
+        n >>= 1;
+    }}
+    return r;
+}}
+
+/* a**e, shortcutting small integer exponents to multiply chains. */
+static inline double rp_pow_pos(double a, double e)
+{{
+    const double ri = rint(e);
+    if (e == ri && ri >= 0.0 && ri <= 32.0)
+        return rp_powi(a, (int)ri);
+    return pow(a, e);
+}}
+
+/* Minimum-image separation and distance, mirroring pair_geometry:
+ * dx = x[i]-x[j]; per-axis wrap; r = sqrt(sum dx*dx) in axis order. */
+static inline double rp_sep(const double *x, int64_t ii, int64_t jj, int dim,
+                            const double *psel, const double *pdiv,
+                            double *dx)
+{{
+    double r2 = 0.0;
+    for (int d = 0; d < dim; ++d) {{
+        double t = x[ii * dim + d] - x[jj * dim + d];
+        t -= psel[d] * rint(t / pdiv[d]);
+        dx[d] = t;
+        r2 += t * t;
+    }}
+    return sqrt(r2);
+}}
+
+/* Kernel shape f(q) and f'(q).  kind: 0 = M4 cubic spline, 1/2/3 =
+ * Wendland C2/C4/C6 (p1 = the kernel's 1-D/3-D shape hint), 4 = sinc
+ * (p1 = exponent).  Each branch mirrors the numpy shape functions'
+ * exact operation order. */
+static inline void rp_shape(int kind, double p1, double q, int need_f,
+                            int need_fp, double *f, double *fp)
+{{
+    *f = 0.0;
+    *fp = 0.0;
+    switch (kind) {{
+    case 0: {{ /* M4 cubic spline */
+        if (q < 1.0) {{
+            if (need_f)
+                *f = (1.0 - (1.5 * q) * q) + (((0.75 * q) * q) * q);
+            if (need_fp)
+                *fp = (-3.0 * q) + ((2.25 * q) * q);
+        }} else if (q < 2.0) {{
+            const double t = 2.0 - q;
+            if (need_f)
+                *f = 0.25 * ((t * t) * t);
+            if (need_fp)
+                *fp = -0.75 * (t * t);
+        }}
+        break;
+    }}
+    case 1: {{ /* Wendland C2 */
+        const double l = 0.5 * q;
+        const double p = 1.0 - l;
+        const double pm = p > 0.0 ? p : 0.0;
+        const double p2 = pm * pm;
+        if (p1 == 1.0) {{
+            if (need_f)
+                *f = (p2 * pm) * (1.0 + 3.0 * l);
+            if (need_fp)
+                *fp = 0.5 * ((-12.0 * l) * p2);
+        }} else {{
+            if (need_f)
+                *f = (p2 * p2) * (1.0 + 4.0 * l);
+            if (need_fp)
+                *fp = 0.5 * ((-20.0 * l) * (p2 * pm));
+        }}
+        break;
+    }}
+    case 2: {{ /* Wendland C4 */
+        const double l = 0.5 * q;
+        const double p = 1.0 - l;
+        const double pm = p > 0.0 ? p : 0.0;
+        const double p2 = pm * pm;
+        const double p4 = p2 * p2;
+        if (p1 == 1.0) {{
+            if (need_f)
+                *f = (p4 * pm) * ((1.0 + 5.0 * l) + (8.0 * l) * l);
+            if (need_fp)
+                *fp = 0.5 * ((-p4) * ((14.0 * l) + (56.0 * l) * l));
+        }} else {{
+            if (need_f)
+                *f = (p4 * p2)
+                     * ((1.0 + 6.0 * l) + ((35.0 / 3.0) * l) * l);
+            if (need_fp)
+                *fp = 0.5 * ((-(p4 * pm))
+                             * (((56.0 / 3.0) * l)
+                                + ((280.0 / 3.0) * l) * l));
+        }}
+        break;
+    }}
+    case 3: {{ /* Wendland C6 */
+        const double l = 0.5 * q;
+        const double p = 1.0 - l;
+        const double pm = p > 0.0 ? p : 0.0;
+        const double p2 = pm * pm;
+        const double p4 = p2 * p2;
+        if (p1 == 1.0) {{
+            if (need_f)
+                *f = ((p4 * p2) * pm)
+                     * (((1.0 + 7.0 * l) + (19.0 * l) * l)
+                        + 21.0 * ((l * l) * l));
+            if (need_fp)
+                *fp = 0.5 * ((((-6.0) * (p4 * p2)) * l)
+                             * (((35.0 * l) * l + (18.0 * l)) + 3.0));
+        }} else {{
+            if (need_f)
+                *f = (p4 * p4)
+                     * (((1.0 + 8.0 * l) + (25.0 * l) * l)
+                        + 32.0 * ((l * l) * l));
+            if (need_fp)
+                *fp = 0.5 * (((((-22.0) * ((p4 * p2) * pm)) * l))
+                             * (((16.0 * l) * l + (7.0 * l)) + 1.0));
+        }}
+        break;
+    }}
+    case 4: {{ /* sinc^n */
+        if (q <= 0.0) {{
+            if (q == 0.0)
+                *f = 1.0;
+            break;
+        }}
+        if (q >= 2.0)
+            break;
+        const double xv = M_PI * (0.5 * q);
+        double sx, cx;
+        rp_sincos(xv, &sx, &cx);
+        const double s = sx / xv;
+        if (need_f)
+            *f = rp_pow_pos(fabs(s), p1);
+        if (need_fp) {{
+            const double dsdq = (0.5 * M_PI) * ((cx - s) / xv);
+            const double sgn = (s > 0.0) ? 1.0 : ((s < 0.0) ? -1.0 : 0.0);
+            *fp = ((p1 * rp_pow_pos(fabs(s), p1 - 1.0)) * sgn) * dsdq;
+        }}
+        break;
+    }}
+    }}
+}}
+"""
+
+_OPS = """
+/* Fused per-pair kernel products over CSR rows [lo, hi): q = r/h_side,
+ * W = whn_side*f(q), grad scale = (whn1_side*f'(q))/r (0 at r = 0),
+ * dW/dh = -whn1_side*(dim*f + q*f'), written at pair offset k-offsets[lo]
+ * for whichever of w/gs/dwdh the want bits select. */
+void rp_pair_kernel(const double *x, const double *h, const double *whn,
+                    const double *whn1, const int64_t *offsets,
+                    const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                    const double *psel, const double *pdiv, int kind,
+                    double p1, int want, int side, double *w, double *gs,
+                    double *dwdh)
+{
+    const int64_t k0 = offsets[lo];
+    const int need_f = (want & 1) || (want & 4);
+    const int need_fp = (want & 2) || (want & 4);
+    for (int64_t i = lo; i < hi; ++i) {
+        const double hi_ = h[i];
+        const double wni = whn[i];
+        const double wn1i = whn1[i];
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const int64_t j = indices[k];
+            double dx[3];
+            const double r = rp_sep(x, i, j, dim, psel, pdiv, dx);
+            double hs, wn, wn1;
+            if (side == 0) {
+                hs = hi_;
+                wn = wni;
+                wn1 = wn1i;
+            } else {
+                hs = h[j];
+                wn = whn[j];
+                wn1 = whn1[j];
+            }
+            const double q = r / hs;
+            double f, fp;
+            rp_shape(kind, p1, q, need_f, need_fp, &f, &fp);
+            const int64_t o = k - k0;
+            if (want & 1)
+                w[o] = wn * f;
+            if (want & 2) {
+                const double dwdr = wn1 * fp;
+                gs[o] = (r > 0.0) ? dwdr / r : 0.0;
+            }
+            if (want & 4)
+                dwdh[o] = (-wn1) * ((double)dim * f + q * fp);
+        }
+    }
+}
+
+/* Neighbour counts within factor*h[i]; the predicate is pure rational
+ * arithmetic, bitwise identical to the numpy h-iteration. */
+void rp_counts(const double *x, const double *h, const int64_t *offsets,
+               const int64_t *indices, int64_t n, int dim,
+               const double *psel, const double *pdiv, double factor,
+               int64_t *counts)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        const double rmax = factor * h[i];
+        int64_t c = 0;
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            double dx[3];
+            const double r = rp_sep(x, i, indices[k], dim, psel, pdiv, dx);
+            if (r <= rmax)
+                ++c;
+        }
+        counts[i] = c;
+    }
+}
+
+/* Row sums of wgt[j] * vals[pair] in ascending pair order (the order
+ * np.bincount applies weights). */
+void rp_rowsum(const int64_t *offsets, const int64_t *indices, int64_t lo,
+               int64_t hi, const double *wgt, const double *vals,
+               double *out)
+{
+    const int64_t k0 = offsets[lo];
+    for (int64_t i = lo; i < hi; ++i) {
+        double acc = 0.0;
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k)
+            acc += wgt[indices[k]] * vals[k - k0];
+        out[i - lo] = acc;
+    }
+}
+
+/* IAD tau accumulation: sum over pairs of (dx_a*dx_b) * ((m_j/rho_j)*w).
+ * Regularization and inversion stay in numpy. */
+void rp_iad_tau(const double *x, const int64_t *offsets,
+                const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                const double *psel, const double *pdiv, const double *m,
+                const double *rho, const double *w, double *tau)
+{
+    const int64_t k0 = offsets[lo];
+    const int dd = dim * dim;
+    for (int64_t i = lo; i < hi; ++i) {
+        double acc[9];
+        for (int a = 0; a < dd; ++a)
+            acc[a] = 0.0;
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const int64_t j = indices[k];
+            double dx[3];
+            rp_sep(x, i, j, dim, psel, pdiv, dx);
+            const double wgt = (m[j] / rho[j]) * w[k - k0];
+            for (int a = 0; a < dim; ++a)
+                for (int b = 0; b < dim; ++b)
+                    acc[a * dim + b] += (dx[a] * dx[b]) * wgt;
+        }
+        for (int a = 0; a < dd; ++a)
+            tau[(i - lo) * dd + a] = acc[a];
+    }
+}
+
+/* Velocity divergence/curl pair sums with standard gradients
+ * grad = dx * gs.  Python finishes the normalization by rho. */
+void rp_div_curl(const double *x, const double *v, const int64_t *offsets,
+                 const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                 const double *psel, const double *pdiv, const double *m,
+                 const double *gs, double *divsum, double *curlsum)
+{
+    const int64_t k0 = offsets[lo];
+    for (int64_t i = lo; i < hi; ++i) {
+        double dacc = 0.0, c0 = 0.0, c1 = 0.0, c2 = 0.0;
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const int64_t j = indices[k];
+            double dx[3];
+            rp_sep(x, i, j, dim, psel, pdiv, dx);
+            const double g = gs[k - k0];
+            const double mj = m[j];
+            double vij[3], grad[3];
+            double vg = 0.0;
+            for (int d = 0; d < dim; ++d) {
+                vij[d] = v[i * dim + d] - v[j * dim + d];
+                grad[d] = dx[d] * g;
+                vg += vij[d] * grad[d];
+            }
+            dacc += mj * vg;
+            if (dim == 3) {
+                double t = vij[1] * grad[2] - vij[2] * grad[1];
+                c0 += mj * t;
+                t = vij[2] * grad[0] - vij[0] * grad[2];
+                c1 += mj * t;
+                t = vij[0] * grad[1] - vij[1] * grad[0];
+                c2 += mj * t;
+            } else if (dim == 2) {
+                const double t = vij[0] * grad[1] - vij[1] * grad[0];
+                c0 += mj * t;
+            }
+        }
+        divsum[i - lo] = dacc;
+        curlsum[(i - lo) * 3 + 0] = c0;
+        curlsum[(i - lo) * 3 + 1] = c1;
+        curlsum[(i - lo) * 3 + 2] = c2;
+    }
+}
+
+/* Fused momentum + energy pair loop.  Per-pair gradients come either
+ * from the IAD matrices (use_iad, with per-pair wi/wj) or from the
+ * standard per-pair scales gsi/gsj (grad = dx*gs).  With inline_j the
+ * neighbour-side product (wj or gsj) is evaluated in-loop via rp_shape
+ * — the same arithmetic as the dedicated side=1 rp_pair_kernel pass,
+ * so results are bitwise what the precomputed-array path produces
+ * while an entire pair pass is saved.  Writes the row sums of the
+ * acceleration pairs, of m_j*(v_ij . g_i) (s1) and of
+ * (m_j*pi_ij)*(v_ij . gbar) (s2); Python combines du = p_over*s1 +
+ * 0.5*s2.  Returns max |mu| over approaching pairs within the kernel
+ * support (the viscous signal-speed term of the CFL). */
+double rp_forces(const double *x, const double *v, const double *h,
+                 const double *m, const double *rho, const double *p_over,
+                 const double *cs, const int64_t *offsets,
+                 const int64_t *indices, int64_t lo, int64_t hi, int dim,
+                 const double *psel, const double *pdiv, const double *wi,
+                 const double *wj, const double *gsi, const double *gsj,
+                 int use_iad, const double *cmat, const double *bals,
+                 int use_balsara, double alpha, double beta, double eta2,
+                 double support, int inline_j, int kind, double p1,
+                 const double *whn, const double *whn1, double *out_a,
+                 double *out_s1, double *out_s2)
+{
+    const int64_t k0 = offsets[lo];
+    const int dd = dim * dim;
+    double max_mu = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+        double acc[3] = {0.0, 0.0, 0.0};
+        double s1 = 0.0, s2 = 0.0;
+        const double hii = h[i];
+        const double poi = p_over[i];
+        const double csi = cs[i];
+        const double rhoi = rho[i];
+        const double bi = use_balsara ? bals[i] : 0.0;
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const int64_t j = indices[k];
+            const int64_t o = k - k0;
+            double dx[3];
+            const double r = rp_sep(x, i, j, dim, psel, pdiv, dx);
+            const double hj = h[j];
+            double vij[3];
+            for (int d = 0; d < dim; ++d)
+                vij[d] = v[i * dim + d] - v[j * dim + d];
+            double gi[3], gj[3];
+            if (use_iad) {
+                const double wio = wi[o];
+                double wjo;
+                if (inline_j) {
+                    double f, fp;
+                    rp_shape(kind, p1, r / hj, 1, 0, &f, &fp);
+                    wjo = whn[j] * f;
+                } else {
+                    wjo = wj[o];
+                }
+                const double *ci = cmat + i * dd;
+                const double *cj = cmat + j * dd;
+                for (int a = 0; a < dim; ++a) {
+                    double ai = 0.0, aj = 0.0;
+                    for (int b = 0; b < dim; ++b) {
+                        const double tj = -dx[b];
+                        ai += ci[a * dim + b] * tj;
+                        aj += cj[a * dim + b] * tj;
+                    }
+                    gi[a] = ai * wio;
+                    gj[a] = aj * wjo;
+                }
+            } else {
+                const double gio = gsi[o];
+                double gjo;
+                if (inline_j) {
+                    double f, fp;
+                    rp_shape(kind, p1, r / hj, 0, 1, &f, &fp);
+                    const double dwdr = whn1[j] * fp;
+                    gjo = (r > 0.0) ? dwdr / r : 0.0;
+                } else {
+                    gjo = gsj[o];
+                }
+                for (int d = 0; d < dim; ++d) {
+                    gi[d] = dx[d] * gio;
+                    gj[d] = dx[d] * gjo;
+                }
+            }
+            double vdotr = 0.0;
+            for (int d = 0; d < dim; ++d)
+                vdotr += vij[d] * dx[d];
+            const double hbar = (hii + hj) * 0.5;
+            double mu = hbar * vdotr;
+            double denom = r * r;
+            double eta_h = hbar * eta2;
+            eta_h *= hbar;
+            denom += eta_h;
+            mu /= denom;
+            const double cbar = 0.5 * (csi + cs[j]);
+            const double rhobar = 0.5 * (rhoi + rho[j]);
+            double pi_ = ((-alpha) * cbar * mu + (beta * mu) * mu) / rhobar;
+            if (use_balsara)
+                pi_ = (pi_ * 0.5) * (bi + bals[j]);
+            const int approaching = vdotr < 0.0;
+            if (!approaching)
+                pi_ = 0.0;
+            const double poj = p_over[j];
+            const double mj = m[j];
+            double vdot_gi = 0.0, vdot_gbar = 0.0;
+            for (int d = 0; d < dim; ++d) {
+                const double gbar = (gi[d] + gj[d]) * 0.5;
+                vdot_gi += vij[d] * gi[d];
+                vdot_gbar += vij[d] * gbar;
+                const double pres = poi * gi[d] + poj * gj[d];
+                acc[d] += (-mj) * (pres + pi_ * gbar);
+            }
+            s1 += mj * vdot_gi;
+            s2 += (mj * pi_) * vdot_gbar;
+            const double hmax = (hii > hj ? hii : hj) * support;
+            if (approaching && r <= hmax) {
+                const double am = fabs(mu);
+                if (am > max_mu)
+                    max_mu = am;
+            }
+        }
+        for (int d = 0; d < dim; ++d)
+            out_a[(i - lo) * dim + d] = acc[d];
+        out_s1[i - lo] = s1;
+        out_s2[i - lo] = s2;
+    }
+    return max_mu;
+}
+
+/* Per-pair gradient vectors, (n_pairs, dim).  mode 0: standard,
+ * out = dx * per_pair (per_pair = gs of the requested side).  mode 1:
+ * IAD, out = (C[row or neighbour] . -dx) * per_pair (per_pair = w of
+ * the requested side).  side: 0 = i, 1 = j. */
+void rp_pair_gradients(const double *x, const int64_t *offsets,
+                       const int64_t *indices, int64_t lo, int64_t hi,
+                       int dim, const double *psel, const double *pdiv,
+                       const double *per_pair, int mode, const double *cmat,
+                       int side, double *out)
+{
+    const int64_t k0 = offsets[lo];
+    const int dd = dim * dim;
+    for (int64_t i = lo; i < hi; ++i) {
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const int64_t j = indices[k];
+            const int64_t o = k - k0;
+            double dx[3];
+            rp_sep(x, i, j, dim, psel, pdiv, dx);
+            const double pp = per_pair[o];
+            if (mode == 0) {
+                for (int d = 0; d < dim; ++d)
+                    out[o * dim + d] = dx[d] * pp;
+            } else {
+                const double *c = cmat + (side == 0 ? i : j) * dd;
+                for (int a = 0; a < dim; ++a) {
+                    double s = 0.0;
+                    for (int b = 0; b < dim; ++b)
+                        s += c[a * dim + b] * (-dx[b]);
+                    out[o * dim + a] = s * pp;
+                }
+            }
+        }
+    }
+}
+/* Per-pair distances over CSR rows [lo, hi), same rp_sep arithmetic as
+ * the fused ops — one pass per step serves the h-iteration's repeated
+ * count sweeps and the support filter below. */
+void rp_radii(const double *x, const int64_t *offsets,
+              const int64_t *indices, int64_t lo, int64_t hi, int dim,
+              const double *psel, const double *pdiv, double *out_r)
+{
+    const int64_t k0 = offsets[lo];
+    for (int64_t i = lo; i < hi; ++i) {
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            double dx[3];
+            out_r[k - k0] = rp_sep(x, i, indices[k], dim, psel, pdiv, dx);
+        }
+    }
+}
+
+/* Neighbour counts from precomputed radii: the predicate is the same
+ * r <= factor*h[i] as rp_counts on radii the same rp_sep produced, so
+ * the counts stay bitwise-identical while each h-iteration sweep costs
+ * one branchless compare per pair instead of a full separation pass. */
+void rp_counts_r(const double *r, const double *h, const int64_t *offsets,
+                 int64_t n, double factor, int64_t *counts)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        const double rmax = factor * h[i];
+        int64_t c = 0;
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k)
+            c += (r[k] <= rmax);
+        counts[i] = c;
+    }
+}
+
+/* Support filter, counting pass: per row, how many pairs fall within
+ * support*max(h_i, h_j) — exactly the rp_forces in-support predicate,
+ * and a superset of either side's kernel support, so every dropped
+ * pair contributes an exact 0.0 to every pair sum. */
+void rp_filter_count(const int64_t *offsets, const int64_t *indices,
+                     const double *r, const double *h, int64_t n,
+                     double support, int64_t *kept)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        const double hi_ = h[i];
+        int64_t c = 0;
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const double hj = h[indices[k]];
+            const double hmax = (hi_ > hj ? hi_ : hj) * support;
+            c += (r[k] <= hmax);
+        }
+        kept[i] = c;
+    }
+}
+
+/* Support filter, fill pass: write the kept pairs' particle indices in
+ * ascending pair order (row sums over the sub-list therefore add the
+ * surviving terms in the same order as the full list). */
+void rp_filter_fill(const int64_t *offsets, const int64_t *indices,
+                    const double *r, const double *h, int64_t n,
+                    double support, const int64_t *new_offsets,
+                    int64_t *new_indices)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        const double hi_ = h[i];
+        int64_t p = new_offsets[i];
+        for (int64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const int64_t j = indices[k];
+            const double hj = h[j];
+            const double hmax = (hi_ > hj ? hi_ : hj) * support;
+            if (r[k] <= hmax)
+                new_indices[p++] = j;
+        }
+    }
+}
+
+/* Regularized batched inversion of the IAD moment matrices: add
+ * fmax(trace*rcond, 1e-300) to the diagonal (the reference expression)
+ * then invert in closed form — adjugate/det for 2x2/3x3, reciprocal in
+ * 1-D.  Differs from LAPACK at rounding level only; covered by the
+ * documented backend tolerance. */
+void rp_tau_inv(const double *tau, int64_t rows, int dim, double rcond,
+                double *out)
+{
+    const int dd = dim * dim;
+    for (int64_t i = 0; i < rows; ++i) {
+        const double *t = tau + i * dd;
+        double *o = out + i * dd;
+        if (dim == 1) {
+            const double reg = fmax(t[0] * rcond, 1e-300);
+            o[0] = 1.0 / (t[0] + reg);
+        } else if (dim == 2) {
+            const double reg = fmax((t[0] + t[3]) * rcond, 1e-300);
+            const double a = t[0] + reg, b = t[1];
+            const double c = t[2], d = t[3] + reg;
+            const double det = a * d - b * c;
+            o[0] = d / det;
+            o[1] = -b / det;
+            o[2] = -c / det;
+            o[3] = a / det;
+        } else {
+            const double reg = fmax((t[0] + t[4] + t[8]) * rcond, 1e-300);
+            const double a = t[0] + reg, b = t[1], c = t[2];
+            const double d = t[3], e = t[4] + reg, f = t[5];
+            const double g = t[6], hh = t[7], k = t[8] + reg;
+            const double A = e * k - f * hh;
+            const double B = f * g - d * k;
+            const double C = d * hh - e * g;
+            const double det = a * A + b * B + c * C;
+            o[0] = A / det;
+            o[1] = (c * hh - b * k) / det;
+            o[2] = (b * f - c * e) / det;
+            o[3] = B / det;
+            o[4] = (a * k - c * g) / det;
+            o[5] = (c * d - a * f) / det;
+            o[6] = C / det;
+            o[7] = (b * g - a * hh) / det;
+            o[8] = (a * e - b * d) / det;
+        }
+    }
+}
+"""
+
+SOURCE = _HELPERS + _OPS
+
+
+def source_fingerprint() -> str:
+    """Hashable identity of the generated source (build-cache key)."""
+    import hashlib
+
+    return hashlib.sha256(SOURCE.encode()).hexdigest()[:16]

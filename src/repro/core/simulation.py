@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
+from ..backend import select_backend
 from ..gradients.iad import compute_iad_matrices
 from ..gravity.barnes_hut import barnes_hut_gravity
 from ..kernels.registry import make_kernel
@@ -197,6 +198,13 @@ class Simulation:
         # valid (only passing them as constructor kwargs is deprecated).
         self.exec_config = run.exec
         self.resilience = run.resilience
+        # Execution backend for the SPH hot path.  The request resolves
+        # here (warn-once fallback to numpy when a named compiled
+        # backend is unavailable); phases receive the resolved Backend,
+        # pool workers re-resolve by name in their own process.
+        requested = run.exec.backend if run.exec is not None else "numpy"
+        self.backend_requested = requested
+        self.backend = select_backend(requested)
         if self._owns_tracer:
             self.tracer = make_tracer(run.observability)
         # Pair engine: one persistent serial-path context plus the epoch
@@ -326,6 +334,10 @@ class Simulation:
         """Token tuple for pool workers (None = engine off)."""
         return self._pair_tokens if self._pair_ctx is not None else None
 
+    def _backend_param(self) -> Optional[str]:
+        """Backend name for pool workers (None = numpy reference)."""
+        return self.backend.name if self.backend.ops is not None else None
+
     def _pair_stats_total(self) -> PairEngineStats:
         """Combined serial + worker pair-engine counters (zeros when off)."""
         total = PairEngineStats()
@@ -391,7 +403,7 @@ class Simulation:
             if cached is not None:
                 cached = adapt_from_cached_list(
                     p, cached, self.box, self._smoothing, self._ncache,
-                    ctx=self._pair_ctx,
+                    ctx=self._pair_ctx, backend=self.backend,
                 )
             if cached is not None:
                 self._nlist = cached
@@ -399,6 +411,7 @@ class Simulation:
                 self._nlist = adapt_smoothing_lengths(
                     p, self.box, self._smoothing, search=search,
                     cache=self._ncache, ctx=self._pair_ctx,
+                    backend=self.backend,
                 )
         # The h iteration may have rewritten ``h`` — re-mint its token so
         # kernel-value caches key on the adapted values (the geometry
@@ -421,6 +434,7 @@ class Simulation:
                         self.box,
                         phase=Phase.NEIGHBOR_LISTS.letter,
                         pair_tokens=pair_tokens,
+                        backend=self._backend_param(),
                     )
                 c_matrices = engine.iad_matrices(
                     p,
@@ -429,17 +443,18 @@ class Simulation:
                     self.box,
                     phase=Phase.NEIGHBOR_LISTS.letter,
                     pair_tokens=pair_tokens,
+                    backend=self._backend_param(),
                 )
             else:
                 with tr.phase(Phase.NEIGHBOR_LISTS.letter, State.USEFUL, self.rank):
                     if np.all(p.rho <= 0.0):
                         compute_density(
                             p, self._nlist, self.kernel, self.box,
-                            ctx=self._pair_ctx,
+                            ctx=self._pair_ctx, backend=self.backend,
                         )
                     c_matrices = compute_iad_matrices(
                         p, self._nlist, self.kernel, self.box,
-                        ctx=self._pair_ctx,
+                        ctx=self._pair_ctx, backend=self.backend,
                     )
 
         if engine is not None:
@@ -452,6 +467,7 @@ class Simulation:
                 xmass_exponent=cfg.xmass_exponent,
                 phase=Phase.DENSITY.letter,
                 pair_tokens=pair_tokens,
+                backend=self._backend_param(),
             )
         else:
             with tr.phase(Phase.DENSITY.letter, State.USEFUL, self.rank):
@@ -463,6 +479,7 @@ class Simulation:
                     volume_elements=cfg.volume_elements,
                     xmass_exponent=cfg.xmass_exponent,
                     ctx=self._pair_ctx,
+                    backend=self.backend,
                 )
 
         with tr.phase(Phase.EQUATION_OF_STATE.letter, State.USEFUL, self.rank):
@@ -480,6 +497,7 @@ class Simulation:
                 c_matrices=c_matrices,
                 phase=Phase.MOMENTUM_ENERGY.letter,
                 pair_tokens=pair_tokens,
+                backend=self._backend_param(),
             )
             self._max_mu = result.max_mu
         else:
@@ -494,6 +512,7 @@ class Simulation:
                     grad_h=cfg.grad_h,
                     c_matrices=c_matrices,
                     ctx=self._pair_ctx,
+                    backend=self.backend,
                 )
                 self._max_mu = result.max_mu
 
@@ -644,11 +663,12 @@ class Simulation:
         return done
 
     def degrade_to_serial(self) -> None:
-        """Drop to the plain serial path: pool off, pair engine off.
+        """Drop to the plain serial path: pool off, pair engine off,
+        compiled backend off.
 
-        Both are bitwise-neutral (the serial reference produces identical
-        results), so this is a safe degradation rung: it sheds the
-        optimized machinery in case that machinery is the corruptor.
+        All three are degradation-neutral (the serial numpy reference
+        produces equivalent results), so this is a safe rung: it sheds
+        the optimized machinery in case that machinery is the corruptor.
         Idempotent; there is no un-degrade short of ``configure()``.
         """
         if self._engine is not None:
@@ -658,6 +678,7 @@ class Simulation:
         self._pair_tokens = (None, None, None)
         self._pair_state_obj = None
         self._pair_state_epochs = ()
+        self.backend = select_backend("numpy")
 
     # ------------------------------------------------------------------
     def resume(self, path=None) -> bool:
@@ -763,6 +784,9 @@ class Simulation:
                 "findings": len(self.sdc_findings),
             }
             reg.absorb("sdc", sdc)
+        backend = dict(self.backend.describe())
+        backend["requested"] = self.backend_requested
+        reg.absorb("backend", {"compiled": int(self.backend.compiled)})
         tr = self.tracer
         pop = None
         if getattr(tr, "enabled", False) and tr.events:
@@ -781,6 +805,7 @@ class Simulation:
             sdc=sdc,
             pop=pop,
             counters=reg.as_dict(),
+            backend=backend,
         )
 
     @property

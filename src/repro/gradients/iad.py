@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.base import backend_ops
 from ..kernels.base import Kernel
 from ..tree.box import Box
 from ..tree.neighborlist import NeighborList
@@ -46,6 +47,7 @@ def compute_iad_matrices(
     rcond: float = 1e-10,
     rows: tuple[int, int] | None = None,
     ctx=None,
+    backend=None,
 ) -> np.ndarray:
     """Per-particle IAD coefficient matrices ``C_i``, shape ``(n, dim, dim)``.
 
@@ -55,8 +57,29 @@ def compute_iad_matrices(
     restricts the computation to a query-row slice, returning
     ``(hi - lo, dim, dim)`` matrices (pool fan-out mode).  ``ctx`` is an
     optional :class:`~repro.sph.pair_engine.PairContext` sharing pair
-    geometry and kernel values with the other phases.
+    geometry and kernel values with the other phases; a compiled
+    ``backend`` fuses the ``W`` pass, the moment accumulation and the
+    regularized inversion (closed-form instead of LAPACK — identical
+    to rounding, covered by the documented backend tolerance).
     """
+    ops = backend_ops(backend, kernel)
+    if ops is not None:
+        lo, hi = rows if rows is not None else (0, nlist.n)
+        tokens = ctx.tokens if ctx is not None else None
+        dim = particles.dim
+        plist = ops.support_list(
+            particles.x, particles.h, nlist, box, kernel, tokens
+        )
+        w = ops.pair_products(
+            x=particles.x, h=particles.h, nlist=plist, box=box,
+            kernel=kernel, dim=dim, lo=lo, hi=hi, tokens=tokens,
+            side="i", want=("w",),
+        )["w"]
+        tau = ops.iad_tau(
+            particles.x, plist, box, particles.m, particles.rho, w,
+            dim, lo, hi,
+        )
+        return ops.tau_inverse(tau, dim, rcond)
     pc = ctx if ctx is not None else _ephemeral_ctx()
     pc.bind(particles.x, nlist, box, rows=rows)
     dim = particles.dim

@@ -17,12 +17,22 @@ __all__ = ["warn_once", "reset_deprecation_warnings"]
 _WARNED: Set[str] = set()
 
 
-def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
-    """Emit ``DeprecationWarning`` for ``key`` on the first call only."""
+def warn_once(
+    key: str,
+    message: str,
+    stacklevel: int = 3,
+    category: type = DeprecationWarning,
+) -> None:
+    """Emit ``category`` (default ``DeprecationWarning``) once per key.
+
+    The backend registry reuses this for its "requested backend is
+    unavailable, using numpy" notice with ``category=RuntimeWarning`` —
+    same warn-once discipline, different severity.
+    """
     if key in _WARNED:
         return
     _WARNED.add(key)
-    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    warnings.warn(message, category, stacklevel=stacklevel)
 
 
 def reset_deprecation_warnings() -> None:

@@ -54,6 +54,9 @@ class RunReport:
     sdc: Optional[Dict[str, int]] = None
     pop: Optional[PopMetrics] = None
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Execution-backend provenance: resolved name, compiled flag,
+    #: toolchain version/detail and the originally requested name.
+    backend: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain nested dict (JSON-serializable)."""
@@ -73,6 +76,7 @@ class RunReport:
             "sdc": dict(self.sdc) if self.sdc else None,
             "pop": asdict(self.pop) if self.pop is not None else None,
             "counters": dict(self.counters),
+            "backend": dict(self.backend) if self.backend else None,
         }
         return out
 
@@ -82,6 +86,12 @@ class RunReport:
             f"run: steps={self.steps} t={self.time:.6g} "
             f"n_particles={self.n_particles}"
         ]
+        if self.backend is not None:
+            lines.append(
+                f"backend: {self.backend.get('name', '?')} "
+                f"(requested={self.backend.get('requested', '?')}, "
+                f"{self.backend.get('version', '?')})"
+            )
         lines.append(format_pair_engine(self.pair_engine))
         if self.neighbor_cache is not None:
             lines.append(format_neighbor_cache(self.neighbor_cache))

@@ -29,6 +29,7 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import BACKEND_CHOICES, select_backend
 from ..core.particles import ParticleSystem
 from ..gradients.iad import compute_iad_matrices
 from ..gravity.barnes_hut import GravityResult, barnes_hut_gravity
@@ -96,6 +97,13 @@ class ExecConfig:
         keyed by parent-minted epoch tokens).  On by default; ``False``
         makes every phase rebuild its pair data from scratch (the
         pre-engine behaviour, bitwise-identical results).
+    backend:
+        Execution backend for the SPH pair loops: ``"numpy"`` (default,
+        the vectorized reference), ``"numba"`` / ``"cffi"`` (compiled
+        fused kernels from :mod:`repro.backend`) or ``"auto"`` (best
+        available).  A named compiled backend that is unavailable on
+        this host degrades to numpy with a single ``RuntimeWarning``.
+        Workers resolve the same name in their own process.
     """
 
     workers: int = 0
@@ -109,10 +117,16 @@ class ExecConfig:
     verify_outputs: bool = False
     chaos: Optional[Any] = None
     pair_engine: bool = True
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"backend must be one of {', '.join(BACKEND_CHOICES)}, "
+                f"got {self.backend!r}"
+            )
         if self.chunks_per_worker < 1:
             raise ValueError(
                 f"chunks_per_worker must be >= 1, got {self.chunks_per_worker}"
@@ -187,6 +201,20 @@ def _pair_reply(ctx, snap, data):
     return data
 
 
+def _worker_backend(params):
+    """Resolve this process's backend from the shipped name (None = numpy).
+
+    The parent only ships a name when its own resolution produced a
+    compiled backend, so a worker that cannot build the same toolchain
+    falls back to numpy via the usual warn-once path — results are
+    still correct, just slower on that worker.
+    """
+    name = params.get("backend")
+    if name is None:
+        return None
+    return select_backend(name)
+
+
 @register_task("density")
 def _task_density(views, params, lo, hi):
     ctx = _worker_pair_ctx(params, lo, hi)
@@ -201,6 +229,7 @@ def _task_density(views, params, lo, hi):
         xmass_exponent=params["xmass_exponent"],
         rows=(lo, hi),
         ctx=ctx,
+        backend=_worker_backend(params),
     )
     views.view(params["out"])[lo:hi] = rho
     return _pair_reply(ctx, snap, {})
@@ -217,6 +246,7 @@ def _task_iad(views, params, lo, hi):
         params["box"],
         rows=(lo, hi),
         ctx=ctx,
+        backend=_worker_backend(params),
     )
     views.view("out_c")[lo:hi] = c
     return _pair_reply(ctx, snap, {})
@@ -233,6 +263,7 @@ def _task_gradh(views, params, lo, hi):
         params["box"],
         rows=(lo, hi),
         ctx=ctx,
+        backend=_worker_backend(params),
     )
     views.view("out_omega")[lo:hi] = omega
     return _pair_reply(ctx, snap, {})
@@ -249,6 +280,7 @@ def _task_divcurl(views, params, lo, hi):
         params["box"],
         rows=(lo, hi),
         ctx=ctx,
+        backend=_worker_backend(params),
     )
     views.view("out_div")[lo:hi] = div
     views.view("out_curl")[lo:hi] = curl
@@ -275,6 +307,7 @@ def _task_forces(views, params, lo, hi):
         omega=omega,
         balsara_f=balsara_f,
         ctx=ctx,
+        backend=_worker_backend(params),
     )
     views.view("out_a")[lo:hi] = result.a
     views.view("out_du")[lo:hi] = result.du
@@ -545,6 +578,7 @@ class ParallelEngine:
         xmass_exponent: float = 0.7,
         phase: str = "E",
         pair_tokens: Optional[Tuple] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Pool-parallel :func:`repro.sph.density.compute_density`."""
         pool, arena = self._ensure()
@@ -565,6 +599,7 @@ class ParallelEngine:
                 "xmass_exponent": xmass_exponent,
                 "out": "out_rho",
                 "pair_tokens": pair_tokens,
+                "backend": backend,
             }
             if bootstrap:
                 # Pass 1 fills a standard summation the generalized
@@ -600,6 +635,7 @@ class ParallelEngine:
         *,
         phase: str = "D",
         pair_tokens: Optional[Tuple] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Pool-parallel :func:`repro.gradients.iad.compute_iad_matrices`."""
         pool, arena = self._ensure()
@@ -610,7 +646,10 @@ class ParallelEngine:
             self._begin_cycle(arena, particles, nlist, extra)
             out = arena.alloc("out_c", (n, dim, dim), np.float64)
             chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
-            params = {"kernel": kernel, "box": box, "pair_tokens": pair_tokens}
+            params = {
+                "kernel": kernel, "box": box,
+                "pair_tokens": pair_tokens, "backend": backend,
+            }
             self._merge_pair_stats(
                 self._map(
                     "iad", chunks, params, phase=phase, verify=(("out_c", False),)
@@ -634,6 +673,7 @@ class ParallelEngine:
         c_matrices: Optional[np.ndarray] = None,
         phase: str = "G",
         pair_tokens: Optional[Tuple] = None,
+        backend: Optional[str] = None,
     ) -> ForceResult:
         """Pool-parallel :func:`repro.sph.forces.compute_forces`.
 
@@ -648,7 +688,7 @@ class ParallelEngine:
         if use_iad and c_matrices is None:
             c_matrices = self.iad_matrices(
                 particles, nlist, kernel, box,
-                phase=phase, pair_tokens=pair_tokens,
+                phase=phase, pair_tokens=pair_tokens, backend=backend,
             )
         with self._phase(phase, State.FAN_OUT):
             extra = _field_bytes((n, dim), np.float64) + _field_bytes((n,), np.float64)
@@ -659,7 +699,10 @@ class ParallelEngine:
             if use_iad:
                 arena.publish("c_matrices", c_matrices)
             chunks = row_chunks(n, self.n_chunks, offsets=nlist.offsets)
-            base = {"kernel": kernel, "box": box, "pair_tokens": pair_tokens}
+            base = {
+                "kernel": kernel, "box": box,
+                "pair_tokens": pair_tokens, "backend": backend,
+            }
             if grad_h:
                 arena.alloc("out_omega", (n,), np.float64)
                 self._merge_pair_stats(

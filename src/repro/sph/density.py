@@ -26,12 +26,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.base import backend_ops
 from ..kernels.base import Kernel
 from ..tree.box import Box
 from ..tree.neighborlist import NeighborList
 from .pair_engine import PairContext
 
 __all__ = ["compute_density", "grad_h_terms"]
+
+
+def _rows_tokens(nlist, rows, ctx):
+    """Resolve (lo, hi) and the epoch tokens for a compiled-path call."""
+    lo, hi = rows if rows is not None else (0, nlist.n)
+    tokens = ctx.tokens if ctx is not None else None
+    return lo, hi, tokens
 
 
 def compute_density(
@@ -44,6 +52,7 @@ def compute_density(
     xmass_exponent: float = 0.7,
     rows: tuple[int, int] | None = None,
     ctx: PairContext | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Update ``particles.rho`` in place and return it.
 
@@ -64,10 +73,21 @@ def compute_density(
     ctx:
         Optional persistent :class:`~repro.sph.pair_engine.PairContext`
         sharing pair geometry and kernel values across phases.
+    backend:
+        Optional resolved :class:`repro.backend.Backend`; a compiled
+        backend takes the fused pair-loop path below (same results
+        within the documented tolerance), the numpy reference falls
+        through to the vectorized code unchanged.
     """
     if volume_elements not in ("standard", "generalized"):
         raise ValueError(
             f"volume_elements must be 'standard' or 'generalized', got {volume_elements!r}"
+        )
+    ops = backend_ops(backend, kernel)
+    if ops is not None:
+        return _compute_density_compiled(
+            ops, particles, nlist, kernel, box, volume_elements,
+            xmass_exponent, rows, ctx,
         )
     pc = ctx if ctx is not None else PairContext()
     pc.bind(particles.x, nlist, box, rows=rows)
@@ -107,6 +127,48 @@ def compute_density(
     return particles.rho
 
 
+def _compute_density_compiled(
+    ops, particles, nlist, kernel, box, volume_elements, xmass_exponent,
+    rows, ctx,
+):
+    """Fused-pair-loop density: one compiled pass builds W, compiled row
+    sums replace gather/multiply/bincount.  Glue arithmetic (xmass,
+    rho = m*kappa/xmass) stays in numpy — it is n-sized and must match
+    the reference expression exactly."""
+    lo, hi, tokens = _rows_tokens(nlist, rows, ctx)
+    dim = particles.dim
+    plist = ops.support_list(
+        particles.x, particles.h, nlist, box, kernel, tokens
+    )
+    w = ops.pair_products(
+        x=particles.x, h=particles.h, nlist=plist, box=box, kernel=kernel,
+        dim=dim, lo=lo, hi=hi, tokens=tokens, side="i", want=("w",),
+    )["w"]
+    if volume_elements == "standard":
+        rho = ops.rowsum(plist, lo, hi, particles.m, w)
+    else:
+        rho_prev = particles.rho
+        if np.any(rho_prev <= 0.0):
+            if rows is not None:
+                raise ValueError(
+                    "generalized volume elements in slice mode need a "
+                    "bootstrapped global density; run a standard pass first"
+                )
+            rho_prev = ops.rowsum(plist, lo, hi, particles.m, w)
+        xmass = (particles.m / rho_prev) ** float(xmass_exponent)
+        kappa = ops.rowsum(plist, lo, hi, xmass, w)
+        if np.any(kappa <= 0.0):
+            raise ValueError(
+                "generalized volume elements: a particle has no kernel support "
+                "(kappa <= 0); check neighbour lists include the self pair"
+            )
+        rho = particles.m[lo:hi] * kappa / xmass[lo:hi]
+    if rows is not None:
+        return rho
+    particles.rho[:] = rho
+    return particles.rho
+
+
 def grad_h_terms(
     particles,
     nlist: NeighborList,
@@ -114,6 +176,7 @@ def grad_h_terms(
     box: Box | None = None,
     rows: tuple[int, int] | None = None,
     ctx: PairContext | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Grad-h correction factors ``Omega_i`` (Springel & Hernquist 2002).
 
@@ -121,8 +184,24 @@ def grad_h_terms(
     Pressure-gradient terms are divided by ``Omega_i`` to keep the scheme
     consistent when ``h`` varies in space.  ``rows`` restricts the
     evaluation to a query-row slice (pool fan-out); ``ctx`` shares pair
-    geometry with the other phases.
+    geometry with the other phases; a compiled ``backend`` fuses the
+    ``dW/dh`` pass and its row sum.
     """
+    ops = backend_ops(backend, kernel)
+    if ops is not None:
+        lo, hi, tokens = _rows_tokens(nlist, rows, ctx)
+        dim = particles.dim
+        plist = ops.support_list(
+            particles.x, particles.h, nlist, box, kernel, tokens
+        )
+        dwdh = ops.pair_products(
+            x=particles.x, h=particles.h, nlist=plist, box=box,
+            kernel=kernel, dim=dim, lo=lo, hi=hi, tokens=tokens, side="i",
+            want=("dwdh",),
+        )["dwdh"]
+        s = ops.rowsum(plist, lo, hi, particles.m, dwdh)
+        omega = 1.0 + particles.h[lo:hi] / (dim * particles.rho[lo:hi]) * s
+        return np.clip(omega, 0.1, 10.0)
     pc = ctx if ctx is not None else PairContext()
     pc.bind(particles.x, nlist, box, rows=rows)
     lo, hi = pc.lo, pc.hi

@@ -32,12 +32,13 @@ from typing import Tuple
 
 import numpy as np
 
+from ..backend.base import backend_ops
 from ..gradients.iad import compute_iad_matrices, iad_pair_gradients
 from ..gradients.kernel_gradient import PairGradients, kernel_pair_gradients
 from ..kernels.base import Kernel
 from ..tree.box import Box
 from ..tree.neighborlist import NeighborList
-from .density import grad_h_terms
+from .density import _rows_tokens, grad_h_terms
 from .pair_engine import PairContext
 from .viscosity import ViscosityParams, balsara_switch, pairwise_viscosity
 
@@ -60,13 +61,40 @@ def velocity_divergence_curl(
     box: Box | None = None,
     rows: Tuple[int, int] | None = None,
     ctx: PairContext | None = None,
+    backend=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """SPH estimates of ``div v`` and ``|curl v|`` per particle.
 
     ``rows`` restricts the evaluation to a query-row slice (pool
     fan-out); ``ctx`` shares pair geometry, ``grad W`` and ``v_ij`` with
-    the force loop.
+    the force loop; a compiled ``backend`` fuses the gradient pass and
+    the pair reductions.
     """
+    ops = backend_ops(backend, kernel)
+    if ops is not None:
+        lo, hi, tokens = _rows_tokens(nlist, rows, ctx)
+        dim = particles.dim
+        rho = particles.rho[lo:hi]
+        plist = ops.support_list(
+            particles.x, particles.h, nlist, box, kernel, tokens
+        )
+        gs = ops.pair_products(
+            x=particles.x, h=particles.h, nlist=plist, box=box,
+            kernel=kernel, dim=dim, lo=lo, hi=hi, tokens=tokens,
+            side="i", want=("gs",),
+        )["gs"]
+        divsum, curlsum = ops.div_curl_sums(
+            particles.x, particles.v, plist, box, particles.m, gs,
+            dim, lo, hi,
+        )
+        div = -divsum / rho
+        if dim == 3:
+            curl = np.sqrt(np.einsum("kd,kd->k", curlsum, curlsum)) / rho
+        elif dim == 2:
+            curl = np.abs(curlsum[:, 0]) / rho
+        else:
+            curl = np.zeros(hi - lo)
+        return div, curl
     pc = ctx if ctx is not None else PairContext()
     pc.bind(particles.x, nlist, box, rows=rows)
     lo, hi = pc.lo, pc.hi
@@ -109,6 +137,7 @@ def compute_forces(
     omega: np.ndarray | None = None,
     balsara_f: np.ndarray | None = None,
     ctx: PairContext | None = None,
+    backend=None,
 ) -> ForceResult:
     """Evaluate accelerations and energy rates; updates particles in place.
 
@@ -147,6 +176,12 @@ def compute_forces(
             raise ValueError("slice mode needs pre-computed global omega")
         if viscosity.use_balsara and balsara_f is None:
             raise ValueError("slice mode needs pre-computed global balsara_f")
+    ops = backend_ops(backend, kernel)
+    if ops is not None:
+        return _compute_forces_compiled(
+            ops, particles, nlist, kernel, box, gradients, viscosity,
+            grad_h, c_matrices, rows, omega, balsara_f, ctx, backend,
+        )
     pc = ctx if ctx is not None else PairContext()
     pc.bind(particles.x, nlist, box, rows=rows)
     lo, hi = pc.lo, pc.hi
@@ -258,6 +293,72 @@ def compute_forces(
         mu_masked = np.where((vdotr < 0.0) & in_support, mu, 0.0)
     max_mu = float(np.abs(mu_masked).max()) if mu_masked.size else 0.0
 
+    if rows is not None:
+        return ForceResult(a=a, du=du, max_mu=max_mu)
+    particles.a[:] = a
+    particles.du[:] = du
+    return ForceResult(a=particles.a, du=particles.du, max_mu=max_mu)
+
+
+def _compute_forces_compiled(
+    ops, particles, nlist, kernel, box, gradients, viscosity, grad_h,
+    c_matrices, rows, omega, balsara_f, ctx, backend,
+):
+    """Fused momentum/energy pair loop: one compiled pass consumes the
+    memoized kernel values/gradients and accumulates ``a``, the two
+    energy sums and the viscous-signal diagnostic.  The n-sized glue
+    (``p_over``, the final ``du`` combination) stays in numpy to match
+    the reference expressions exactly; subsidiary phases (IAD, grad-h,
+    Balsara) are delegated to their own backend-aware entry points."""
+    lo, hi, tokens = _rows_tokens(nlist, rows, ctx)
+    dim = particles.dim
+    use_iad = gradients == "iad"
+    plist = ops.support_list(
+        particles.x, particles.h, nlist, box, kernel, tokens
+    )
+
+    common = dict(
+        x=particles.x, h=particles.h, nlist=plist, box=box, kernel=kernel,
+        dim=dim, lo=lo, hi=hi, tokens=tokens,
+    )
+    # Only the query-side product is materialized; the neighbour-side
+    # factor (w_j / gs_j) is evaluated inline by the fused force loop —
+    # bitwise-identical arithmetic, one whole pair pass saved.
+    wi = wj = gsi = gsj = None
+    if use_iad:
+        if c_matrices is None:
+            c_matrices = compute_iad_matrices(
+                particles, nlist, kernel, box, ctx=ctx, backend=backend
+            )
+        wi = ops.pair_products(side="i", want=("w",), **common)["w"]
+    else:
+        gsi = ops.pair_products(side="i", want=("gs",), **common)["gs"]
+
+    if omega is None:
+        omega = (
+            grad_h_terms(particles, nlist, kernel, box, ctx=ctx, backend=backend)
+            if grad_h
+            else np.ones(particles.n)
+        )
+    p_over = particles.p / (omega * particles.rho**2)
+
+    if viscosity.use_balsara and balsara_f is None:
+        div_v, curl_v = velocity_divergence_curl(
+            particles, nlist, kernel, box, ctx=ctx, backend=backend
+        )
+        balsara_f = balsara_switch(div_v, curl_v, particles.cs, particles.h)
+
+    a, s1, s2, max_mu = ops.forces(
+        x=particles.x, v=particles.v, h=particles.h, m=particles.m,
+        rho=particles.rho, p_over=p_over, cs=particles.cs,
+        nlist=plist, box=box, dim=dim, lo=lo, hi=hi,
+        wi=wi, wj=wj, gsi=gsi, gsj=gsj,
+        use_iad=use_iad, c_matrices=c_matrices, balsara_f=balsara_f,
+        alpha=viscosity.alpha, beta=viscosity.beta,
+        eta2=viscosity.eta**2, support=kernel.support,
+        kernel=kernel, tokens=tokens,
+    )
+    du = p_over[lo:hi] * s1 + 0.5 * s2
     if rows is not None:
         return ForceResult(a=a, du=du, max_mu=max_mu)
     particles.a[:] = a

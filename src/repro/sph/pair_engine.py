@@ -212,6 +212,11 @@ class PairContext:
         self._tok_h = h
         self._tok_v = v
 
+    @property
+    def tokens(self) -> Tuple[Optional[int], Optional[int], Optional[int]]:
+        """Current ``(geometry, h, v)`` epoch tokens (compiled-path memo key)."""
+        return (self._tok_geom, self._tok_h, self._tok_v)
+
     def invalidate(self) -> None:
         """Drop the cached geometry and every derived product."""
         self._geom_key = None

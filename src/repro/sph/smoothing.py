@@ -63,6 +63,7 @@ def adapt_smoothing_lengths(
     search: Callable[..., NeighborList] | None = None,
     cache: VerletNeighborCache | None = None,
     ctx=None,
+    backend=None,
 ) -> NeighborList:
     """Iterate h and the neighbour search until counts hit the target band.
 
@@ -84,7 +85,15 @@ def adapt_smoothing_lengths(
     each sweep's pair geometry is then computed through (and left primed
     in) the context, so the SPH phases that follow reuse the final
     list's ``(i, j, dx, r)`` block instead of recomputing it.
+
+    With a compiled ``backend`` the per-sweep counts come from a single
+    fused pass (``repro.backend`` ``neighbor_counts``) whose separation
+    arithmetic is bitwise-identical to the numpy expression, so the h
+    trajectory — and therefore every downstream neighbour list — is
+    exactly the same; the context priming is skipped because the
+    compiled phases do not consume context products.
     """
+    ops = backend.ops if backend is not None else None
     if search is None:
         search = lambda x, radii, box, mode: cell_grid_search(  # noqa: E731
             x, radii, box, mode=mode
@@ -95,14 +104,19 @@ def adapt_smoothing_lengths(
     for _ in range(config.max_iterations):
         # Count only gather neighbours (r <= 2 h_i): recompute from the
         # symmetric list so no extra search is needed.
-        if ctx is not None:
-            pc = ctx.bind(particles.x, nlist, box)
-            i, r = pc.i, pc.r
+        if ops is not None:
+            counts = ops.neighbor_counts(
+                particles.x, particles.h, nlist, box, 2.0
+            )
         else:
-            i, _ = nlist.pairs()
-            _, r = nlist.pair_geometry(particles.x, box)
-        within = r <= 2.0 * particles.h[i]
-        counts = np.bincount(i[within], minlength=particles.n)
+            if ctx is not None:
+                pc = ctx.bind(particles.x, nlist, box)
+                i, r = pc.i, pc.r
+            else:
+                i, _ = nlist.pairs()
+                _, r = nlist.pair_geometry(particles.x, box)
+            within = r <= 2.0 * particles.h[i]
+            counts = np.bincount(i[within], minlength=particles.n)
         rel_err = np.abs(counts - config.n_target) / config.n_target
         if float(rel_err.max(initial=0.0)) <= config.tolerance:
             break
@@ -112,7 +126,7 @@ def adapt_smoothing_lengths(
         nlist = search(particles.x, factor * particles.h, box, "symmetric")
     if cache is not None:
         cache.store(nlist, particles.x, particles.h)
-    if ctx is not None:
+    if ctx is not None and ops is None:
         # Prime the final list so downstream phases bind as a pure reuse.
         ctx.bind(particles.x, nlist, box)
     return nlist
@@ -125,6 +139,7 @@ def adapt_from_cached_list(
     config: SmoothingConfig = SmoothingConfig(),
     cache: VerletNeighborCache | None = None,
     ctx=None,
+    backend=None,
 ) -> NeighborList | None:
     """Run the h iteration off a cached padded list — no fresh search.
 
@@ -144,12 +159,23 @@ def adapt_from_cached_list(
     if cache is None:
         raise ValueError("adapt_from_cached_list requires the owning cache")
     dim = particles.dim
-    if ctx is not None:
-        pc = ctx.bind(particles.x, nlist, box)
-        i, r = pc.i, pc.r
+    ops = backend.ops if backend is not None else None
+    if ops is not None:
+        # One compiled separation pass per call (memoized on the
+        # geometry token, so the support filter reuses it); each sweep
+        # below is then a single compare per pair — mirroring how the
+        # numpy path computes ``r`` once and re-filters per iteration.
+        r_pairs = ops.pair_radii(
+            particles.x, nlist, box,
+            tokens=ctx.tokens if ctx is not None else None,
+        )
     else:
-        i, _ = nlist.pairs()
-        _, r = nlist.pair_geometry(particles.x, box)
+        if ctx is not None:
+            pc = ctx.bind(particles.x, nlist, box)
+            i, r = pc.i, pc.r
+        else:
+            i, _ = nlist.pairs()
+            _, r = nlist.pair_geometry(particles.x, box)
     h_entry = particles.h.copy()
 
     def bail() -> None:
@@ -163,8 +189,13 @@ def adapt_from_cached_list(
         if not cache.covers(particles.h):
             bail()
             return None
-        within = r <= 2.0 * particles.h[i]
-        counts = np.bincount(i[within], minlength=particles.n)
+        if ops is not None:
+            counts = ops.counts_from_radii(
+                r_pairs, particles.h, nlist, 2.0
+            )
+        else:
+            within = r <= 2.0 * particles.h[i]
+            counts = np.bincount(i[within], minlength=particles.n)
         rel_err = np.abs(counts - config.n_target) / config.n_target
         if float(rel_err.max(initial=0.0)) <= config.tolerance:
             break
