@@ -1,4 +1,11 @@
-"""Shared helpers for the Figure 1-3 strong-scaling benches."""
+"""Shared helpers for the benchmark suite.
+
+Besides the Figure 1-3 scaling report formatters, this is where every
+bench gets its host stamp: :func:`host_stamp` embeds the machine
+fingerprint (and its short id) into each ``BENCH_*.json`` record so the
+regression gates can refuse to compare numbers measured on different
+machines — cross-host timing ratios are noise, not regressions.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,18 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.observability.ledger import fingerprint_id, host_fingerprint
 from repro.runtime.scaling import ScalingSeries
+
+
+def host_stamp() -> Dict[str, object]:
+    """Machine-identity fields to merge into a bench JSON record.
+
+    ``host_id`` is the stable short hash the gates compare; ``host`` the
+    full fingerprint for humans diagnosing a refused comparison.
+    """
+    fp = host_fingerprint()
+    return {"host": fp, "host_id": fingerprint_id(fp)}
 
 
 def series_report(

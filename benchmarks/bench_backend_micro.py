@@ -32,6 +32,7 @@ import time
 
 import numpy as np
 
+from _scaling_common import host_stamp
 from repro.backend import available_backends, select_backend
 from repro.core.config import SimulationConfig
 from repro.core.simulation import Simulation
@@ -118,6 +119,7 @@ def test_backend_micro(report, results_dir):
         "normalized_step_time": (best / t_ref) if best else None,
         "target_speedup": TARGET_SPEEDUP,
         "target_applies": target_applies,
+        **host_stamp(),
     }
     (results_dir / "BENCH_backend.json").write_text(
         json.dumps(record, indent=2) + "\n"

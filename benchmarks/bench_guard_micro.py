@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 
+from _scaling_common import host_stamp
 from repro.core.config import RunConfig, SimulationConfig
 from repro.core.simulation import Simulation
 from repro.ics.square_patch import SquarePatchConfig, make_square_patch
@@ -87,6 +88,7 @@ def test_guard_overhead_within_budget(report, results_dir):
         "snapshots": guard_rep.snapshots,
         "budget": MAX_OVERHEAD,
         "target_applies": n >= TARGET_N,
+        **host_stamp(),
     }
     (results_dir / "BENCH_guard.json").write_text(
         json.dumps(payload, indent=2) + "\n"

@@ -21,6 +21,7 @@ import time
 
 import numpy as np
 
+from _scaling_common import host_stamp
 from repro.core.config import RunConfig, SimulationConfig
 from repro.core.simulation import Simulation
 from repro.ics.square_patch import SquarePatchConfig, make_square_patch
@@ -89,6 +90,7 @@ def test_tracing_overhead_within_budget(report, results_dir):
         "relative_overhead": overhead,
         "spans_per_run": spans,
         "budget": MAX_OVERHEAD,
+        **host_stamp(),
     }
     (results_dir / "observability_micro.json").write_text(
         json.dumps(payload, indent=2) + "\n"

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from _scaling_common import host_stamp
 from repro.core.config import SimulationConfig
 from repro.core.simulation import Simulation
 from repro.ics.square_patch import SquarePatchConfig, make_square_patch
@@ -110,6 +111,7 @@ def test_pair_engine_micro(report, results_dir):
         "steady_state_bytes_reused": steady.pair_bytes_reused,
         "target_speedup": 1.5,
         "target_applies": target_applies,
+        **host_stamp(),
     }
     (results_dir / "BENCH_pair_engine.json").write_text(
         json.dumps(record, indent=2) + "\n"

@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+from _scaling_common import host_stamp
 from repro.core.config import SimulationConfig
 from repro.core.simulation import Simulation
 from repro.ics.square_patch import SquarePatchConfig, make_square_patch
@@ -87,6 +88,7 @@ def test_parallel_micro_density_forces(report, results_dir):
         "speedup": speedup,
         "target_speedup": 1.5,
         "target_applies": cores >= 2,
+        **host_stamp(),
     }
     (results_dir / "parallel_micro.json").write_text(
         json.dumps(record, indent=2) + "\n"

@@ -21,6 +21,7 @@ import time
 
 import numpy as np
 
+from _scaling_common import host_stamp
 from repro.core.config import SimulationConfig
 from repro.core.simulation import Simulation
 from repro.ics.square_patch import SquarePatchConfig, make_square_patch
@@ -93,6 +94,7 @@ def test_checkpoint_write_restore_latency(report, results_dir, tmp_path):
         "t_read_verify_s": t_read,
         "t_restore_s": t_restore,
         "write_mb_per_s": nbytes / t_write / 1e6,
+        **host_stamp(),
     }
     (results_dir / "resilience_micro.json").write_text(
         json.dumps(record, indent=2) + "\n"
@@ -143,6 +145,7 @@ def test_recovery_overhead_one_crash(report, results_dir):
         "crashes": stats.crashes,
         "respawns": stats.respawns,
         "reissues": stats.reissues,
+        **host_stamp(),
     }
     existing = {}
     out = results_dir / "resilience_micro.json"

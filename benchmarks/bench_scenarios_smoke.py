@@ -17,6 +17,7 @@ import os
 import time
 from pathlib import Path
 
+from _scaling_common import host_stamp
 from repro.scenarios import all_scenarios
 
 STEPS = int(os.environ.get("REPRO_BENCH_SCENARIO_STEPS", "3"))
@@ -56,7 +57,8 @@ def test_scenarios_smoke():
             f"{row['time_per_step'] * 1e3:>12.1f} {row['dt']:>10.2e}"
         )
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS.write_text(json.dumps(rows, indent=2) + "\n")
+    payload = {"_host": host_stamp(), **rows}
+    RESULTS.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,10 @@ Refuses to compare numbers measured on *different* compiled backends:
 the baseline pins one backend's ratio, and e.g. a numba measurement
 says nothing about a cffi regression.  A mismatch prints a notice and
 skips (exit 0) — CI hosts legitimately resolve different toolchains
-than the baseline host did.
+than the baseline host did.  Likewise refuses a *cross-host* comparison
+when both records carry a ``host_id`` fingerprint and they differ —
+timing ratios from two machines are noise, not regressions (unstamped
+legacy baselines still compare).
 
 Also skips when the host cannot produce a meaningful measurement: no
 compiled backend, or a shrunken smoke workload.
@@ -52,6 +55,16 @@ def main() -> int:
             "skipping regression gate: cross-backend comparison refused "
             f"(fresh result measured {cur_backend!r}, baseline pinned "
             f"{ref_backend!r})"
+        )
+        return 0
+
+    cur_host = current.get("host_id")
+    ref_host = baseline.get("host_id")
+    if cur_host and ref_host and cur_host != ref_host:
+        print(
+            "skipping regression gate: cross-host comparison refused "
+            f"(fresh result from host {cur_host}, baseline from "
+            f"{ref_host}); re-baseline on this machine to re-arm"
         )
         return 0
 

@@ -12,7 +12,11 @@ Checks a fresh ``benchmarks/results/BENCH_guard.json`` twice:
    absolute machine speed cancels).
 
 Skips (exit 0 with a notice) on a shrunken smoke workload, where the
-fixed-cost fraction is not representative of N=8000.
+fixed-cost fraction is not representative of N=8000, and on a
+cross-host comparison (both records stamped with differing ``host_id``
+fingerprints) — the drift check compares ratios from two machines,
+which is noise, not signal.  The absolute budget still applies on any
+host; only the baseline drift check needs host identity.
 """
 
 from __future__ import annotations
@@ -45,8 +49,19 @@ def main() -> int:
         return 0
 
     now = max(NOISE_FLOOR, current["relative_overhead"])
-    ref = max(NOISE_FLOOR, baseline["relative_overhead"])
-    limit = min(ABSOLUTE_BUDGET, ref + DRIFT_POINTS)
+    cur_host = current.get("host_id")
+    ref_host = baseline.get("host_id")
+    if cur_host and ref_host and cur_host != ref_host:
+        print(
+            "cross-host baseline refused for the drift check "
+            f"(fresh result from host {cur_host}, baseline from "
+            f"{ref_host}); applying the absolute budget only"
+        )
+        limit = ABSOLUTE_BUDGET
+        ref = float("nan")
+    else:
+        ref = max(NOISE_FLOOR, baseline["relative_overhead"])
+        limit = min(ABSOLUTE_BUDGET, ref + DRIFT_POINTS)
     verdict = "OK" if now <= limit else "REGRESSION"
     print(
         f"guard overhead: {now * 100:.2f}% "

@@ -13,7 +13,10 @@ mostly scheduler noise) or a shrunken smoke workload.  Also refuses to
 compare results measured on a different execution backend than the
 baseline's (records without a backend stamp predate the backend layer
 and count as "numpy") — the engine-on/off ratio of a compiled run says
-nothing about a numpy-path regression.
+nothing about a numpy-path regression.  The same refusal applies
+cross-host: when both records carry a ``host_id`` fingerprint and they
+differ, the comparison is skipped (unstamped legacy baselines still
+compare).
 """
 
 from __future__ import annotations
@@ -62,6 +65,16 @@ def main() -> int:
             "skipping regression gate: cross-backend comparison refused "
             f"(fresh result measured on {cur_backend!r}, baseline on "
             f"{ref_backend!r})"
+        )
+        return 0
+
+    cur_host = current.get("host_id")
+    ref_host = baseline.get("host_id")
+    if cur_host and ref_host and cur_host != ref_host:
+        print(
+            "skipping regression gate: cross-host comparison refused "
+            f"(fresh result from host {cur_host}, baseline from "
+            f"{ref_host}); re-baseline on this machine to re-arm"
         )
         return 0
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Gate the autotuner bench: tuned-with-no-hands within 5% of hand-tuned.
+
+Reads a fresh ``benchmarks/results/BENCH_tuning.json`` and fails when
+any scenario's ``autotuned / best_hand_tuned`` step-time ratio exceeds
+the 5% acceptance band.  The ratio is measured within one process on
+one host, so absolute machine speed cancels — but the committed
+``benchmarks/baselines/BENCH_tuning.json`` is still consulted for a
+drift check (the worst ratio may not worsen by more than 5 percentage
+points over the baseline's), and that comparison is refused when the
+two records carry differing ``host_id`` fingerprints: ratios from two
+machines drift for machine reasons, not code reasons.  Unstamped legacy
+baselines still compare.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TARGET_RATIO = 1.05  # the acceptance contract: within 5% of hand-tuned
+DRIFT_POINTS = 0.05  # allowed worsening of worst_ratio vs baseline
+
+ROOT = Path(__file__).parent
+RESULT = ROOT / "results" / "BENCH_tuning.json"
+BASELINE = ROOT / "baselines" / "BENCH_tuning.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"no fresh result at {RESULT}; run bench_tuning first")
+        return 1
+    current = json.loads(RESULT.read_text())
+
+    failed = False
+    for name, row in current["scenarios"].items():
+        ratio = row["ratio"]
+        verdict = "OK" if ratio <= TARGET_RATIO else "FAIL"
+        print(
+            f"{name}: autotuned {row['autotuned_s'] * 1e3:.2f} ms/step vs "
+            f"hand-tuned {row['best_hand_tuned_s'] * 1e3:.2f} ms/step -> "
+            f"ratio {ratio:.3f} (target <= {TARGET_RATIO}) {verdict}"
+        )
+        if ratio > TARGET_RATIO:
+            failed = True
+    if failed:
+        print("autotuner missed the 5% acceptance band")
+        return 1
+
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        cur_host = current.get("host_id")
+        ref_host = baseline.get("host_id")
+        if cur_host and ref_host and cur_host != ref_host:
+            print(
+                "skipping drift check: cross-host comparison refused "
+                f"(fresh result from host {cur_host}, baseline from "
+                f"{ref_host}); re-baseline on this machine to re-arm"
+            )
+            return 0
+        now = current["worst_ratio"]
+        ref = baseline["worst_ratio"]
+        limit = ref + DRIFT_POINTS
+        verdict = "OK" if now <= limit else "REGRESSION"
+        print(
+            f"worst ratio: {now:.3f} (baseline {ref:.3f}, "
+            f"limit {limit:.3f}) -> {verdict}"
+        )
+        if now > limit:
+            print(
+                f"autotuner quality drifted {now - ref:+.3f} over baseline "
+                f"(allowance +{DRIFT_POINTS})"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

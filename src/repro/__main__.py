@@ -110,6 +110,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.ledger is not None:
+        run_config = run_config.with_(
+            observability=run_config.observability.with_(
+                ledger_path=args.ledger
+            )
+        )
+    if args.autotune:
+        from .tuning.autotuner import TuningConfig
+
+        run_config = run_config.with_(
+            tuning=TuningConfig(seed=args.autotune_seed)
+        )
 
     particles, box, eos = scenario.build(**overrides)
     print(f"{args.case}: {particles.n} particles, preset {preset.label}")
@@ -118,7 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     n_steps = args.steps if args.steps is not None else scenario.default_steps
     sim = Simulation(
         particles, box, eos, config=config, g_const=scenario.g_const,
-        run_config=run_config,
+        run_config=run_config, scenario=scenario.name,
     )
     print(f"backend: {sim.backend.name} "
           f"(requested {sim.backend_requested}; {sim.backend.version})")
@@ -138,6 +150,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rep = sim.report()
         if rep.guard is not None:
             print(rep.guard.summary())
+        if rep.tuning is not None:
+            from .observability.report import format_tuning
+
+            print(format_tuning(rep.tuning))
         if args.json:
             summary = {
                 "scenario": scenario.name,
@@ -150,6 +166,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "guard": rep.guard.as_dict() if rep.guard is not None else None,
                 "sdc": rep.sdc,
                 "backend": rep.backend,
+                "tuning": rep.tuning,
             }
             print(json.dumps(summary, indent=2))
     finally:
@@ -270,6 +287,62 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
+    from .observability.ledger import RunLedger
+
+    if not os.path.exists(args.path):
+        print(f"error: no ledger at {args.path!r}", file=sys.stderr)
+        return 2
+
+    with RunLedger(args.path) as ledger:
+        if args.show is not None:
+            rec = ledger.get(args.show)
+            if rec is None:
+                print(f"error: unknown run id {args.show!r}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(json.dumps(dataclasses.asdict(rec), indent=2))
+                return 0
+            p50 = rec.step_p50()
+            print(f"run {rec.run_id}")
+            print(f"  scenario={rec.scenario} n={rec.n_particles} "
+                  f"steps={rec.n_steps} backend={rec.backend}")
+            print(f"  host={rec.host_id} code={rec.code_version}")
+            print(f"  step p50: "
+                  f"{p50 * 1e3:.2f} ms" if p50 is not None else "  step p50: -")
+            print(f"  knobs: {json.dumps(rec.knobs, sort_keys=True)}")
+            for phase, agg in sorted(rec.phases.items()):
+                total = agg.get("total_s", 0.0)
+                print(f"  phase {phase}: total={total * 1e3:.2f} ms "
+                      f"spans={agg.get('count', 0)}")
+            if rec.pop:
+                print(f"  pop: {json.dumps(rec.pop, sort_keys=True)}")
+            if rec.recovery:
+                print(f"  recovery: {json.dumps(rec.recovery, sort_keys=True)}")
+            return 0
+
+        rows = ledger.runs(scenario=args.scenario, limit=args.limit)
+        if args.json:
+            print(json.dumps(
+                [dataclasses.asdict(r) for r in rows], indent=2
+            ))
+            return 0
+        if not rows:
+            print("ledger is empty")
+            return 0
+        print(f"{'run-id':<24} {'scenario':<14} {'n':>8} {'steps':>5} "
+              f"{'backend':<7} {'p50 ms/step':>11}  host")
+        for r in rows:
+            p50 = r.step_p50()
+            p50_s = f"{p50 * 1e3:.2f}" if p50 is not None else "-"
+            print(f"{r.run_id:<24} {r.scenario:<14} {r.n_particles:>8} "
+                  f"{r.n_steps:>5} {r.backend:<7} {p50_s:>11}  {r.host_id}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -308,6 +381,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "nan:rho@2! for a persistent fault)")
     run.add_argument("--error-detection", action="store_true",
                      help="run the per-step SDC monitor (Table 4)")
+    run.add_argument("--autotune", action="store_true",
+                     help="let the online autotuner pick the execution "
+                          "knobs (backend, pair engine, cache, workers) "
+                          "over the first steps of the run")
+    run.add_argument("--autotune-seed", type=int, default=0, metavar="SEED",
+                     help="seed for the deterministic exploration order")
+    run.add_argument("--ledger", default=None, metavar="DB",
+                     help="append this run to the sqlite run ledger at DB "
+                          "(also the autotuner's warm-start history)")
     run.set_defaults(func=_cmd_run)
 
     scen = sub.add_parser("scenarios", help="list the scenario registry")
@@ -329,6 +411,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     tables = sub.add_parser("tables", help="print the Table 1-4 matrices")
     tables.set_defaults(func=_cmd_tables)
+
+    ledger = sub.add_parser("ledger", help="inspect the run-history ledger")
+    ledger.add_argument("--path", default="tuning.db", metavar="DB",
+                        help="ledger database file (default: tuning.db)")
+    ledger.add_argument("--list", action="store_true",
+                        help="print the run table (default)")
+    ledger.add_argument("--show", default=None, metavar="RUN_ID",
+                        help="print one run's full record")
+    ledger.add_argument("--scenario", default=None,
+                        help="filter --list by scenario name")
+    ledger.add_argument("--limit", type=int, default=20,
+                        help="max rows for --list (default 20)")
+    ledger.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    ledger.set_defaults(func=_cmd_ledger)
     return parser
 
 

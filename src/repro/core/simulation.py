@@ -17,6 +17,7 @@ which is what the Figure-4 reproduction and the POP metrics read.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
@@ -124,6 +125,10 @@ class Simulation:
     exec_config: Optional["ExecConfig"] = None
     resilience: Optional["ResilienceConfig"] = None
     run_config: Optional[RunConfig] = None
+    #: Registry name of the workload this driver runs (ledger key; set
+    #: by :meth:`repro.scenarios.registry.Scenario.make_simulation` and
+    #: the CLI, ``None`` for hand-built runs).
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.run_config is not None and (
@@ -169,6 +174,8 @@ class Simulation:
         else:
             self.stepper = IndividualTimesteps(self.config.timestep_params)
         self._engine = None
+        self._autotuner = None
+        self._ledger_written = False
         self._apply_run_config()
         self.initial_conservation: Optional[ConservationState] = None
         # Table 4 "Error Detection": with error_detection enabled the
@@ -289,6 +296,47 @@ class Simulation:
         self.run_config = run
         self._apply_run_config()
         return self
+
+    def _rewire_exec(self, exec_cfg: Optional["ExecConfig"]) -> None:
+        """Swap the execution layer mid-run (autotuner knob switches).
+
+        Unlike :meth:`_apply_run_config` this touches only the subsystems
+        an :class:`~repro.parallel.executor.ExecConfig` governs — backend,
+        pair engine, Verlet cache, process pool — and leaves the tracer,
+        checkpoint manager, step guard and chaos policy running, so span
+        history and resilience state survive the switch.
+        """
+        run = self.run_config.with_(exec=exec_cfg)
+        self.run_config = run
+        self.exec_config = exec_cfg
+        requested = exec_cfg.backend if exec_cfg is not None else "numpy"
+        self.backend_requested = requested
+        self.backend = select_backend(requested)
+        self._pair_ctx = None
+        if exec_cfg is None or exec_cfg.pair_engine:
+            self._pair_ctx = PairContext()
+        self._pair_tokens = (None, None, None)
+        self._pair_state_obj = None
+        self._pair_state_epochs = ()
+        if self._engine is not None:
+            self._engine.close()
+        self._engine = None
+        self._ncache = None
+        if exec_cfg is not None:
+            if exec_cfg.neighbor_cache:
+                from ..tree.neighborlist import VerletNeighborCache
+
+                self._ncache = VerletNeighborCache(skin=exec_cfg.cache_skin)
+            if exec_cfg.parallel_enabled:
+                from ..parallel.executor import ParallelEngine
+
+                self._engine = ParallelEngine(
+                    exec_cfg,
+                    tracer=self.tracer,
+                    rank=self.rank,
+                    worker_spans=run.observability.worker_spans,
+                )
+                self._engine.set_step(self.step_index)
 
     # ------------------------------------------------------------------
     # Pair-engine token bookkeeping
@@ -650,13 +698,32 @@ class Simulation:
             and self.step_index == 0
         ):
             self.resume()
+        tuning = self.run_config.tuning
+        if (
+            tuning is not None
+            and tuning.enabled
+            and self._autotuner is None
+        ):
+            from ..tuning.autotuner import Autotuner
+
+            self._autotuner = Autotuner(self, tuning)
         done: List[StepStats] = []
         while True:
             if n_steps is not None and len(done) >= n_steps:
                 break
             if t_end is not None and self.time >= t_end:
                 break
-            if self.step_guard is not None:
+            tuner = self._autotuner
+            if tuner is not None and not tuner.done:
+                tuner.before_step()
+            if tuner is not None and not tuner.done:
+                t0 = time.perf_counter()
+                if self.step_guard is not None:
+                    done.append(self.step_guard.guarded_step(self))
+                else:
+                    done.append(self.step())
+                tuner.after_step(time.perf_counter() - t0)
+            elif self.step_guard is not None:
                 done.append(self.step_guard.guarded_step(self))
             else:
                 done.append(self.step())
@@ -787,6 +854,16 @@ class Simulation:
         backend = dict(self.backend.describe())
         backend["requested"] = self.backend_requested
         reg.absorb("backend", {"compiled": int(self.backend.compiled)})
+        tuning = None
+        if self._autotuner is not None:
+            tuning = self._autotuner.report_dict()
+            reg.absorb(
+                "tuning",
+                {
+                    "explored_steps": tuning.get("explored_steps", 0),
+                    "done": int(bool(tuning.get("done"))),
+                },
+            )
         tr = self.tracer
         pop = None
         if getattr(tr, "enabled", False) and tr.events:
@@ -806,6 +883,7 @@ class Simulation:
             pop=pop,
             counters=reg.as_dict(),
             backend=backend,
+            tuning=tuning,
         )
 
     @property
@@ -844,6 +922,32 @@ class Simulation:
                 write_chrome_trace(obs.chrome_trace_path, self.tracer)
             if obs.jsonl_path:
                 write_jsonl(obs.jsonl_path, self.tracer)
+        if (
+            obs is not None
+            and obs.ledger_path
+            and not self._ledger_written
+            and self.step_index > 0
+        ):
+            # A broken ledger must never turn a clean shutdown into a
+            # crash — the run's results matter more than its history row.
+            import warnings
+
+            try:
+                from ..observability.ledger import (
+                    RunLedger,
+                    record_from_simulation,
+                )
+
+                with RunLedger(obs.ledger_path) as ledger:
+                    ledger.append(record_from_simulation(self))
+                self._ledger_written = True
+            except Exception as exc:  # pragma: no cover - defensive
+                warnings.warn(
+                    f"run-ledger append to {obs.ledger_path!r} failed: "
+                    f"{exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def __enter__(self) -> "Simulation":
         return self

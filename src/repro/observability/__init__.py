@@ -34,6 +34,14 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .ledger import (
+    RunLedger,
+    RunRecord,
+    code_version,
+    fingerprint_id,
+    host_fingerprint,
+    record_from_simulation,
+)
 from .pop import pop_from_events
 from .registry import MetricsRegistry
 from .report import (
@@ -41,6 +49,7 @@ from .report import (
     format_neighbor_cache,
     format_pair_engine,
     format_recovery,
+    format_tuning,
 )
 from .tracer import NullTracer, SpanTracer, make_tracer
 
@@ -51,9 +60,16 @@ __all__ = [
     "make_tracer",
     "MetricsRegistry",
     "RunReport",
+    "RunLedger",
+    "RunRecord",
+    "host_fingerprint",
+    "fingerprint_id",
+    "code_version",
+    "record_from_simulation",
     "format_pair_engine",
     "format_neighbor_cache",
     "format_recovery",
+    "format_tuning",
     "pop_from_events",
     "to_chrome_trace",
     "to_jsonl",

@@ -34,6 +34,12 @@ class ObservabilityConfig:
     jsonl_path:
         When set, :meth:`Simulation.close` exports one JSON span per line
         to this path (the benchmark-harness format).
+    ledger_path:
+        When set, :meth:`Simulation.close` appends a run summary (phase
+        aggregates, POP metrics, resolved knobs, step-time percentiles,
+        recovery counters) to the durable
+        :class:`~repro.observability.ledger.RunLedger` at this path —
+        the history the autotuner warm-starts from on later runs.
     """
 
     enabled: bool = True
@@ -41,6 +47,7 @@ class ObservabilityConfig:
     max_events: int = 1_000_000
     chrome_trace_path: Optional[str] = None
     jsonl_path: Optional[str] = None
+    ledger_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_events < 1:

@@ -1,0 +1,509 @@
+"""Durable run-history ledger: the persistence half of the observability loop.
+
+Every instrumented subsystem in this codebase measures itself —
+:class:`~repro.observability.tracer.SpanTracer` spans, measured POP
+metrics, pair-engine/cache/recovery counters — but until now nothing
+survived the process.  The ledger closes that gap: an append-only sqlite
+store of per-run summaries, keyed by ``(scenario, n_particles, host,
+backend, code version)``, that :meth:`repro.core.simulation.Simulation
+.close` writes and the autotuner (:mod:`repro.tuning`) reads to
+warm-start its cost model on the next run.
+
+Design constraints, in order:
+
+* **Durability.**  WAL journaling with a busy timeout, so concurrent
+  appends from separate processes serialize instead of failing, and a
+  torn write cannot take out previously committed rows.  A file that is
+  corrupt beyond sqlite's own recovery (e.g. a truncated header from a
+  torn copy) is quarantined to ``<path>.corrupt`` and a fresh ledger is
+  started — history is an optimization, never a single point of failure.
+* **Schema versioning.**  ``ledger_meta.schema_version`` stamps every
+  file; opening an older file migrates it in place (v0 → v1 adds the
+  ``recovery`` and ``extra`` columns).  Opening a *newer* file than this
+  code understands raises, never silently misreads.
+* **Self-describing rows.**  Structured fields (host fingerprint, knobs,
+  per-phase aggregates, POP metrics, step-time percentiles) are stored
+  as JSON text columns; the indexed key columns are plain scalars.
+
+The host fingerprint also stamps benchmark JSON artifacts (via
+``benchmarks/_scaling_common.py``) so regression gates can refuse
+cross-host baseline comparisons the same way they refuse cross-backend
+ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sqlite3
+import time
+import uuid
+import warnings
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "host_fingerprint",
+    "fingerprint_id",
+    "code_version",
+    "RunRecord",
+    "RunLedger",
+    "record_from_simulation",
+]
+
+#: Current on-disk schema.  v0 (the first deployment) lacked the
+#: ``recovery`` and ``extra`` columns; see :data:`_MIGRATIONS`.
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Host fingerprint + code version (the cross-run comparison keys)
+# ----------------------------------------------------------------------
+def host_fingerprint() -> Dict[str, object]:
+    """What makes a timing from this host comparable to another one.
+
+    Captures core count, platform triple, interpreter and the backend
+    toolchain versions (a numba upgrade changes compiled-step timings as
+    surely as a CPU swap does).  Deliberately excludes hostname and
+    anything wall-clock-dependent so the fingerprint is stable across
+    reboots of the same machine/image.
+    """
+    fp: Dict[str, object] = {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "impl": platform.python_implementation(),
+    }
+    import numpy
+
+    fp["numpy"] = numpy.__version__
+    for mod in ("numba", "cffi"):
+        try:
+            fp[mod] = __import__(mod).__version__
+        except Exception:
+            fp[mod] = None
+    return fp
+
+
+def fingerprint_id(fp: Optional[Dict[str, object]] = None) -> str:
+    """Short stable digest of a host fingerprint (ledger/bench key)."""
+    if fp is None:
+        fp = host_fingerprint()
+    blob = json.dumps(fp, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def code_version() -> str:
+    """Short git commit of the running checkout, or ``"unknown"``.
+
+    Resolved by reading ``.git/HEAD`` directly (no subprocess): ledger
+    appends happen inside ``Simulation.close()`` and must never block on
+    or fail from an external tool.
+    """
+    root = Path(__file__).resolve()
+    for parent in root.parents:
+        git = parent / ".git"
+        if not git.is_dir():
+            continue
+        try:
+            head = (git / "HEAD").read_text().strip()
+            if head.startswith("ref:"):
+                ref = git / head.split(None, 1)[1]
+                if ref.exists():
+                    return ref.read_text().strip()[:12]
+                packed = git / "packed-refs"
+                if packed.exists():
+                    want = head.split(None, 1)[1]
+                    for line in packed.read_text().splitlines():
+                        if line.endswith(want):
+                            return line.split()[0][:12]
+                return "unknown"
+            return head[:12]
+        except OSError:
+            return "unknown"
+    return "unknown"
+
+
+# ----------------------------------------------------------------------
+# Row model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunRecord:
+    """One finished run's summary, as stored in (and read from) the ledger."""
+
+    run_id: str
+    created_s: float
+    scenario: str
+    n_particles: int
+    n_steps: int
+    host_id: str
+    backend: str
+    code_version: str
+    host: Dict[str, object] = field(default_factory=dict)
+    #: Resolved execution knobs (workers, chunks, cache, skin, pair
+    #: engine, backend, checkpoint interval) — the autotuner's domain.
+    knobs: Dict[str, object] = field(default_factory=dict)
+    #: Per-phase span aggregates: letter -> {total_s, count, mean_s}.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Measured POP efficiency metrics (None-able fields JSON-coerced).
+    pop: Optional[Dict[str, float]] = None
+    #: Whole-step wall-time percentiles: count/best_s/mean_s/p10/p50/p90.
+    step_times: Dict[str, float] = field(default_factory=dict)
+    #: Guard + supervisor + checkpoint recovery counters.
+    recovery: Dict[str, float] = field(default_factory=dict)
+    #: Anything else (e.g. the autotuner's decision trail).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def step_p50(self) -> Optional[float]:
+        """Median step seconds, the ledger's primary cost signal."""
+        v = self.step_times.get("p50_s")
+        return float(v) if v is not None else None
+
+
+def new_run_id(scenario: str) -> str:
+    """Unique, human-sortable run id (``<scenario>-<hex8>``)."""
+    return f"{scenario}-{uuid.uuid4().hex[:8]}"
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+_COLUMNS_V0 = (
+    "run_id", "created_s", "scenario", "n_particles", "n_steps",
+    "host_id", "backend", "code_version", "host", "knobs", "phases",
+    "pop", "step_times",
+)
+_COLUMNS_V1 = _COLUMNS_V0 + ("recovery", "extra")
+_JSON_COLUMNS = frozenset(
+    {"host", "knobs", "phases", "pop", "step_times", "recovery", "extra"}
+)
+
+
+class RunLedger:
+    """Append-only sqlite run-history store (WAL, schema-versioned).
+
+    Usable as a context manager; every public method is safe to call
+    concurrently from multiple processes (appends serialize on sqlite's
+    write lock within ``timeout_s``).
+    """
+
+    def __init__(self, path, *, timeout_s: float = 10.0):
+        self.path = Path(path)
+        self.timeout_s = float(timeout_s)
+        self._conn: Optional[sqlite3.Connection] = None
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError:
+            self._quarantine()
+            self._conn = self._open()
+
+    # -- lifecycle -----------------------------------------------------
+    def _open(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout_s)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={int(self.timeout_s * 1000)}")
+            self._ensure_schema(conn)
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def _quarantine(self) -> None:
+        """Move an unreadable file aside and warn; history is best-effort."""
+        target = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        # Sidecar WAL/SHM files belong to the quarantined generation.
+        for suffix in ("-wal", "-shm"):
+            try:
+                Path(str(self.path) + suffix).unlink()
+            except OSError:
+                pass
+        warnings.warn(
+            f"run ledger at {self.path} was unreadable; quarantined to "
+            f"{target} and starting a fresh ledger",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        with conn:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS ledger_meta "
+                "(key TEXT PRIMARY KEY, value TEXT)"
+            )
+            row = conn.execute(
+                "SELECT value FROM ledger_meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS runs ("
+                    "  run_id TEXT PRIMARY KEY,"
+                    "  created_s REAL NOT NULL,"
+                    "  scenario TEXT NOT NULL,"
+                    "  n_particles INTEGER NOT NULL,"
+                    "  n_steps INTEGER NOT NULL,"
+                    "  host_id TEXT NOT NULL,"
+                    "  backend TEXT NOT NULL,"
+                    "  code_version TEXT NOT NULL,"
+                    "  host TEXT NOT NULL DEFAULT '{}',"
+                    "  knobs TEXT NOT NULL DEFAULT '{}',"
+                    "  phases TEXT NOT NULL DEFAULT '{}',"
+                    "  pop TEXT,"
+                    "  step_times TEXT NOT NULL DEFAULT '{}',"
+                    "  recovery TEXT NOT NULL DEFAULT '{}',"
+                    "  extra TEXT NOT NULL DEFAULT '{}')"
+                )
+                conn.execute(
+                    "CREATE INDEX IF NOT EXISTS idx_runs_key ON runs "
+                    "(scenario, n_particles, host_id, backend)"
+                )
+                conn.execute(
+                    "INSERT INTO ledger_meta (key, value) VALUES "
+                    "('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+                return
+            version = int(row[0])
+            if version > SCHEMA_VERSION:
+                raise RuntimeError(
+                    f"ledger {self.path} has schema v{version}, newer than "
+                    f"this code understands (v{SCHEMA_VERSION}); refusing "
+                    f"to open it"
+                )
+            while version < SCHEMA_VERSION:
+                _MIGRATIONS[version](conn)
+                version += 1
+                conn.execute(
+                    "UPDATE ledger_meta SET value=? WHERE key='schema_version'",
+                    (str(version),),
+                )
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def schema_version(self) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM ledger_meta WHERE key='schema_version'"
+        ).fetchone()
+        return int(row[0])
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    # -- writes --------------------------------------------------------
+    def append(self, record: RunRecord) -> str:
+        """Insert one run summary; returns its ``run_id``."""
+        values = []
+        rec = record.as_dict()
+        for col in _COLUMNS_V1:
+            v = rec[col]
+            if col in _JSON_COLUMNS:
+                v = None if v is None else json.dumps(v, default=str)
+            values.append(v)
+        placeholders = ",".join("?" * len(_COLUMNS_V1))
+        with self._conn:
+            self._conn.execute(
+                f"INSERT INTO runs ({','.join(_COLUMNS_V1)}) "
+                f"VALUES ({placeholders})",
+                values,
+            )
+        return record.run_id
+
+    # -- reads ---------------------------------------------------------
+    @staticmethod
+    def _from_row(row: sqlite3.Row) -> RunRecord:
+        data = dict(row)
+        for col in _JSON_COLUMNS:
+            raw = data.get(col)
+            data[col] = json.loads(raw) if raw is not None else (
+                None if col == "pop" else {}
+            )
+        return RunRecord(**data)
+
+    def get(self, run_id: str) -> Optional[RunRecord]:
+        """Look up one run by id, or ``None``."""
+        self._conn.row_factory = sqlite3.Row
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE run_id=?", (run_id,)
+        ).fetchone()
+        return self._from_row(row) if row is not None else None
+
+    def runs(
+        self,
+        *,
+        scenario: Optional[str] = None,
+        host_id: Optional[str] = None,
+        backend: Optional[str] = None,
+        n_particles: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Query run summaries, newest first, filtered on the key columns."""
+        clauses, params = [], []
+        for col, val in (
+            ("scenario", scenario),
+            ("host_id", host_id),
+            ("backend", backend),
+            ("n_particles", n_particles),
+        ):
+            if val is not None:
+                clauses.append(f"{col}=?")
+                params.append(val)
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_s DESC, run_id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        self._conn.row_factory = sqlite3.Row
+        return [self._from_row(r) for r in self._conn.execute(sql, params)]
+
+
+def _migrate_v0_to_v1(conn: sqlite3.Connection) -> None:
+    """v0 rows predate the recovery counters and the free-form extra blob."""
+    cols = {r[1] for r in conn.execute("PRAGMA table_info(runs)")}
+    if "recovery" not in cols:
+        conn.execute(
+            "ALTER TABLE runs ADD COLUMN recovery TEXT NOT NULL DEFAULT '{}'"
+        )
+    if "extra" not in cols:
+        conn.execute(
+            "ALTER TABLE runs ADD COLUMN extra TEXT NOT NULL DEFAULT '{}'"
+        )
+
+
+_MIGRATIONS = {0: _migrate_v0_to_v1}
+
+
+# ----------------------------------------------------------------------
+# Simulation -> RunRecord
+# ----------------------------------------------------------------------
+def resolved_knobs(sim) -> Dict[str, object]:
+    """The hand-settable runtime knobs a run actually resolved to.
+
+    This is the autotuner's search space, so the names here are the
+    contract between ledger rows and candidate configs.
+    """
+    run = sim.run_config
+    ex = run.exec
+    knobs: Dict[str, object] = {
+        "workers": int(ex.workers) if ex is not None else 0,
+        "chunks_per_worker": int(ex.chunks_per_worker) if ex is not None else 1,
+        "neighbor_cache": bool(ex.neighbor_cache) if ex is not None else False,
+        "cache_skin": float(ex.cache_skin) if ex is not None else 0.3,
+        "pair_engine": bool(ex.pair_engine) if ex is not None else True,
+        "backend": sim.backend.name,
+        "checkpoint_every": (
+            int(run.resilience.checkpoint_every)
+            if run.resilience is not None
+            else None
+        ),
+    }
+    return knobs
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (no numpy needed)."""
+    if not sorted_vals:
+        return float("nan")
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[int(idx)]
+
+
+def step_time_summary(durations: List[float]) -> Dict[str, float]:
+    """count/best/mean/p10/p50/p90 of whole-step wall seconds."""
+    if not durations:
+        return {}
+    vals = sorted(float(d) for d in durations)
+    return {
+        "count": len(vals),
+        "best_s": vals[0],
+        "mean_s": sum(vals) / len(vals),
+        "p10_s": _percentile(vals, 0.10),
+        "p50_s": _percentile(vals, 0.50),
+        "p90_s": _percentile(vals, 0.90),
+    }
+
+
+def record_from_simulation(sim, *, scenario: Optional[str] = None) -> RunRecord:
+    """Roll one finished :class:`~repro.core.simulation.Simulation` up
+    into a ledger row: per-phase span aggregates, POP metrics, resolved
+    knobs, step-time percentiles and recovery counters."""
+    from ..profiling.trace import State
+
+    name = scenario or sim.scenario or sim.config.label
+    report = sim.report()
+
+    phases: Dict[str, Dict[str, float]] = {}
+    step_durations: List[float] = []
+    tracer = sim.tracer
+    if getattr(tracer, "enabled", False):
+        for e in tracer.events:
+            if e.state is State.STEP and e.thread == 0:
+                step_durations.append(e.duration)
+            elif e.state is State.USEFUL:
+                agg = phases.setdefault(e.phase, {"total_s": 0.0, "count": 0})
+                agg["total_s"] += e.duration
+                agg["count"] += 1
+        for agg in phases.values():
+            agg["mean_s"] = agg["total_s"] / agg["count"] if agg["count"] else 0.0
+
+    recovery: Dict[str, float] = {}
+    for section in ("recovery", "checkpoint", "sdc"):
+        stats = getattr(report, section)
+        if stats:
+            recovery.update({f"{section}.{k}": v for k, v in dict(stats).items()})
+    if report.guard is not None:
+        recovery.update(
+            {f"guard.{k}": v for k, v in report.guard.counters().items()}
+        )
+
+    extra: Dict[str, object] = {}
+    if report.tuning is not None:
+        extra["tuning"] = report.tuning
+
+    fp = host_fingerprint()
+    return RunRecord(
+        run_id=new_run_id(name),
+        created_s=time.time(),
+        scenario=name,
+        n_particles=int(sim.particles.n),
+        n_steps=int(sim.step_index),
+        host_id=fingerprint_id(fp),
+        backend=sim.backend.name,
+        code_version=code_version(),
+        host=fp,
+        knobs=resolved_knobs(sim),
+        phases=phases,
+        pop=dict(asdict(report.pop)) if report.pop is not None else None,
+        step_times=step_time_summary(step_durations),
+        recovery=recovery,
+        extra=extra,
+    )

@@ -142,6 +142,7 @@ class Scenario:
             config=sim_config if sim_config is not None else self.sim_config,
             g_const=self.g_const,
             run_config=run_config,
+            scenario=self.name,
         )
 
     def run_gate(self) -> Dict[str, float]:

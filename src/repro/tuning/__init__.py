@@ -1,0 +1,33 @@
+"""Online cost modeling + autotuning: the loop-closing half of observability.
+
+The runtime exposes many hand-set knobs (workers, chunk sizes, Verlet
+skin, pair engine, checkpoint interval, execution backend) and measures
+everything (spans, POP metrics, recovery counters) — this package feeds
+the measurements back into the knobs, in the ARBO predict → execute →
+feedback style:
+
+* :class:`AmdahlCostModel` / :class:`CostModel` — per-phase and
+  whole-step cost models of the form ``t(N, workers, knobs) = serial +
+  parallel / workers + overhead(knobs)``, least-squares fit from ledger
+  rows and in-run spans, with prediction intervals.
+* :class:`TuningConfig` / :class:`Autotuner` — bounded deterministic
+  knob exploration across the early steps of a run, warm-started from
+  the :class:`~repro.observability.ledger.RunLedger`, converging to a
+  recommended configuration that the rest of the run executes.
+
+Off by default: a :class:`~repro.core.config.RunConfig` without a
+``tuning`` section runs exactly the pre-tuning step loop (bitwise
+identical, golden masters untouched).
+"""
+
+from .autotuner import Autotuner, TuningConfig
+from .model import AmdahlCostModel, CostModel, Observation, Prediction
+
+__all__ = [
+    "AmdahlCostModel",
+    "CostModel",
+    "Observation",
+    "Prediction",
+    "TuningConfig",
+    "Autotuner",
+]

@@ -1,0 +1,359 @@
+"""Amdahl-form cost models fit from observed run telemetry.
+
+The model family is the one the scaling analysis of the source paper
+(and the ARBO estimator it inspired) is built on::
+
+    t(N, w, knobs) = (serial + parallel / max(w, 1)) * (N / N0) + overhead(knobs)
+
+``serial`` and ``parallel`` are per-``N0``-particles seconds (pair work
+at fixed neighbour count is linear in N, so normalizing by a reference
+size ``N0`` keeps the coefficients in human range); ``w`` is the
+effective worker count (``workers=0`` — the serial path — executes on
+one lane); ``overhead(knobs)`` is a learned additive offset per knob
+signature (backend, pair engine, cache, ...), measured as the mean
+residual of that signature's observations against the Amdahl base fit.
+
+The fit is plain least squares on the design matrix ``[N', N'/w, 1]``
+with non-negativity enforced by column dropping (a negative parallel
+coefficient re-fits serial-only and vice versa), which keeps the model
+well-behaved on the tiny sample counts an in-run tuner works with.
+Prediction intervals come from the residual spread: ``±z * sigma`` with
+signature-local sigma when that signature has ≥ 2 observations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Observation", "Prediction", "AmdahlCostModel", "CostModel"]
+
+#: ~95% two-sided normal interval.
+_Z = 1.96
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured cost point: a (size, parallelism, knobs) -> seconds fact."""
+
+    n_particles: int
+    workers: int
+    t_seconds: float
+    #: Hashable digest of the non-worker knobs (backend, pair engine,
+    #: cache, ...) — the ``overhead(knobs)`` lookup key.
+    signature: Tuple = ()
+
+    @property
+    def lanes(self) -> int:
+        """Effective parallel lanes: the serial path still runs on one."""
+        return max(1, int(self.workers))
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A model answer with its uncertainty band."""
+
+    t_seconds: float
+    lo_seconds: float
+    hi_seconds: float
+    sigma_seconds: float
+    n_observations: int
+    #: ``"amdahl"`` (global fit), ``"signature"`` (fit + knob offset) or
+    #: ``"prior"`` (no data — the caller-provided fallback).
+    source: str = "amdahl"
+
+    def __contains__(self, t: float) -> bool:
+        return self.lo_seconds <= float(t) <= self.hi_seconds
+
+
+@dataclass
+class AmdahlCostModel:
+    """``t(N, w) = (serial + parallel / w) * N/N0 + overhead(knobs)``.
+
+    Parameters
+    ----------
+    n0:
+        Reference particle count the coefficients are normalized to.
+        Defaults to the first observation's size, so a fixed-N in-run
+        fit reads directly in seconds.
+    """
+
+    n0: Optional[int] = None
+    observations: List[Observation] = field(default_factory=list)
+    serial_s: float = 0.0
+    parallel_s: float = 0.0
+    constant_s: float = 0.0
+    sigma_s: float = math.inf
+    _offsets: Dict[Tuple, Tuple[float, float, int]] = field(default_factory=dict)
+    _fitted: bool = False
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        n_particles: int,
+        workers: int,
+        t_seconds: float,
+        signature: Tuple = (),
+    ) -> None:
+        if not (t_seconds >= 0.0 and math.isfinite(t_seconds)):
+            raise ValueError(f"bad observation time: {t_seconds}")
+        self.observations.append(
+            Observation(int(n_particles), int(workers), float(t_seconds),
+                        tuple(signature))
+        )
+        self._fitted = False
+
+    def extend(self, observations: Sequence[Observation]) -> None:
+        for o in observations:
+            self.observations.append(o)
+        self._fitted = False
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.observations)
+
+    # ------------------------------------------------------------------
+    def fit(self) -> "AmdahlCostModel":
+        """Least-squares fit; degrades gracefully on tiny samples.
+
+        * 0 observations — stays at the zero model (predict returns the
+          prior path).
+        * 1-2 observations — mean model (``constant = mean t``).
+        * ≥ 3 — full ``[N', N'/w, 1]`` fit with non-negativity by
+          column dropping.
+        """
+        obs = self.observations
+        if not obs:
+            self._fitted = True
+            return self
+        if self.n0 is None:
+            self.n0 = obs[0].n_particles
+        t = np.array([o.t_seconds for o in obs])
+        if len(obs) < 3:
+            self.serial_s = self.parallel_s = 0.0
+            self.constant_s = float(t.mean())
+            self.sigma_s = float(t.std()) if len(obs) > 1 else math.inf
+        else:
+            nn = np.array([o.n_particles / self.n0 for o in obs])
+            w = np.array([o.lanes for o in obs], dtype=float)
+            coeffs = self._nonneg_lstsq(nn, nn / w, t)
+            self.serial_s, self.parallel_s, self.constant_s = coeffs
+            pred = self.serial_s * nn + self.parallel_s * nn / w + self.constant_s
+            resid = t - pred
+            dof = max(1, len(obs) - 3)
+            self.sigma_s = float(np.sqrt(np.sum(resid**2) / dof))
+        self._fit_offsets()
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _nonneg_lstsq(
+        c_serial: np.ndarray, c_parallel: np.ndarray, t: np.ndarray
+    ) -> Tuple[float, float, float]:
+        """lstsq over ``[serial, parallel, const]`` with coefficients
+        clamped non-negative by dropping offending columns and refitting."""
+        columns = {"serial": c_serial, "parallel": c_parallel,
+                   "const": np.ones_like(t)}
+        active = list(columns)
+        while active:
+            design = np.stack([columns[k] for k in active], axis=1)
+            sol, *_ = np.linalg.lstsq(design, t, rcond=None)
+            worst = None
+            for k, v in zip(active, sol):
+                if v < 0.0 and (worst is None or v < worst[1]):
+                    worst = (k, v)
+            if worst is None:
+                out = dict(zip(active, sol))
+                return (
+                    float(out.get("serial", 0.0)),
+                    float(out.get("parallel", 0.0)),
+                    float(out.get("const", 0.0)),
+                )
+            active.remove(worst[0])
+        return (0.0, 0.0, float(t.mean()))
+
+    def _base(self, n_particles: int, workers: int) -> float:
+        n0 = self.n0 or n_particles or 1
+        nn = n_particles / n0
+        lanes = max(1, int(workers))
+        return self.serial_s * nn + self.parallel_s * nn / lanes + self.constant_s
+
+    def _fit_offsets(self) -> None:
+        """Per-signature additive overhead = mean residual vs the base fit."""
+        groups: Dict[Tuple, List[float]] = {}
+        for o in self.observations:
+            resid = o.t_seconds - self._base(o.n_particles, o.workers)
+            groups.setdefault(o.signature, []).append(resid)
+        self._offsets = {}
+        for sig, resids in groups.items():
+            arr = np.array(resids)
+            self._offsets[sig] = (
+                float(arr.mean()),
+                float(arr.std()) if len(arr) > 1 else math.nan,
+                len(arr),
+            )
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        n_particles: int,
+        workers: int = 0,
+        signature: Optional[Tuple] = None,
+        prior_s: Optional[float] = None,
+    ) -> Prediction:
+        """Predicted step/phase seconds with a ~95% interval.
+
+        ``prior_s`` is returned (with an infinite band) when the model
+        has no observations at all — callers never have to special-case
+        the cold start.
+        """
+        if not self._fitted:
+            self.fit()
+        if not self.observations:
+            t = float(prior_s) if prior_s is not None else math.nan
+            return Prediction(t, -math.inf, math.inf, math.inf, 0, "prior")
+        t = self._base(n_particles, workers)
+        sigma = self.sigma_s
+        source = "amdahl"
+        n_obs = len(self.observations)
+        if signature is not None and tuple(signature) in self._offsets:
+            mean, sig_sigma, count = self._offsets[tuple(signature)]
+            t += mean
+            source = "signature"
+            n_obs = count
+            if count >= 2 and math.isfinite(sig_sigma):
+                sigma = sig_sigma
+        if not math.isfinite(sigma):
+            return Prediction(t, -math.inf, math.inf, sigma, n_obs, source)
+        band = _Z * sigma
+        return Prediction(t, t - band, t + band, sigma, n_obs, source)
+
+    def serial_fraction(self, n_particles: int) -> float:
+        """Amdahl serial fraction f = serial / (serial + parallel) at N."""
+        tot = self.serial_s + self.parallel_s
+        if tot <= 0.0:
+            return math.nan
+        return self.serial_s / tot
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n0": self.n0,
+            "serial_s": self.serial_s,
+            "parallel_s": self.parallel_s,
+            "constant_s": self.constant_s,
+            "sigma_s": None if not math.isfinite(self.sigma_s) else self.sigma_s,
+            "n_observations": len(self.observations),
+            "serial_fraction": (
+                None
+                if not math.isfinite(f := self.serial_fraction(self.n0 or 1))
+                else f
+            ),
+        }
+
+
+class CostModel:
+    """Whole-step + per-phase Amdahl models behind one façade.
+
+    The autotuner feeds it in-run step timings (:meth:`observe_step`) and
+    phase spans (:meth:`observe_phases`); the ledger warm start feeds it
+    historical rows (:meth:`absorb_ledger_rows`).  :meth:`predict` is the
+    ``predict(config)`` API of the tuning layer: a knob mapping in,
+    a :class:`Prediction` out.
+    """
+
+    def __init__(self, n0: Optional[int] = None):
+        self.step_model = AmdahlCostModel(n0=n0)
+        self.phase_models: Dict[str, AmdahlCostModel] = {}
+        self._n0 = n0
+
+    # -- feeding -------------------------------------------------------
+    @staticmethod
+    def signature_of(knobs: Dict[str, object]) -> Tuple:
+        """Hashable digest of the non-worker knobs (sorted, workers
+        excluded — workers is the model's explicit axis)."""
+        return tuple(
+            (k, knobs[k]) for k in sorted(knobs) if k not in ("workers",)
+        )
+
+    def observe_step(
+        self, n_particles: int, knobs: Dict[str, object], t_seconds: float
+    ) -> None:
+        self.step_model.observe(
+            n_particles, int(knobs.get("workers", 0) or 0), t_seconds,
+            self.signature_of(knobs),
+        )
+
+    def observe_phases(
+        self,
+        n_particles: int,
+        knobs: Dict[str, object],
+        phase_seconds: Dict[str, float],
+    ) -> None:
+        sig = self.signature_of(knobs)
+        workers = int(knobs.get("workers", 0) or 0)
+        for phase, t in phase_seconds.items():
+            model = self.phase_models.setdefault(
+                phase, AmdahlCostModel(n0=self._n0)
+            )
+            model.observe(n_particles, workers, t, sig)
+
+    def absorb_ledger_rows(self, rows) -> int:
+        """Seed from :class:`~repro.observability.ledger.RunRecord` rows;
+        returns how many usable rows were absorbed."""
+        used = 0
+        for row in rows:
+            p50 = row.step_p50()
+            if p50 is None:
+                continue
+            self.observe_step(row.n_particles, dict(row.knobs), p50)
+            n_steps = max(1, row.n_steps)
+            per_step = {
+                phase: agg["total_s"] / n_steps
+                for phase, agg in row.phases.items()
+                if agg.get("total_s") is not None
+            }
+            if per_step:
+                self.observe_phases(row.n_particles, dict(row.knobs), per_step)
+            used += 1
+        return used
+
+    # -- asking --------------------------------------------------------
+    def predict(
+        self,
+        config: Dict[str, object],
+        n_particles: Optional[int] = None,
+        prior_s: Optional[float] = None,
+    ) -> Prediction:
+        """Predicted whole-step seconds for a knob mapping."""
+        n = int(n_particles if n_particles is not None
+                else (self.step_model.n0 or 1))
+        return self.step_model.predict(
+            n,
+            int(config.get("workers", 0) or 0),
+            self.signature_of(config),
+            prior_s=prior_s,
+        )
+
+    def phase_breakdown(
+        self, n_particles: int, workers: int = 0
+    ) -> Dict[str, Prediction]:
+        """Per-phase predicted seconds at (N, workers)."""
+        return {
+            phase: model.predict(n_particles, workers)
+            for phase, model in sorted(self.phase_models.items())
+        }
+
+    def fit(self) -> "CostModel":
+        self.step_model.fit()
+        for model in self.phase_models.values():
+            model.fit()
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "step": self.step_model.as_dict(),
+            "phases": {k: m.as_dict() for k, m in sorted(self.phase_models.items())},
+        }

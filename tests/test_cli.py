@@ -209,3 +209,72 @@ def test_run_guard_with_checkpoint_dir(tmp_path, capsys):
     from repro.resilience.checkpoint import find_latest_checkpoint
 
     assert find_latest_checkpoint(ckpt_dir) is not None
+
+
+# --- autotuner + run ledger surface --------------------------------------
+
+
+def test_run_autotune_with_ledger(tmp_path, capsys):
+    db = str(tmp_path / "tuning.db")
+    rc = main(["run", "sod", "--n", "80", "--steps", "4",
+               "--autotune", "--ledger", db])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "tuning:" in out  # the one-line tuning report
+    from repro.observability.ledger import RunLedger
+
+    with RunLedger(db) as led:
+        assert len(led) == 1
+        rec = led.runs()[0]
+    assert rec.scenario == "sod"
+    assert "tuning" in rec.extra
+
+
+def test_run_autotune_json_includes_trail(tmp_path, capsys):
+    import json as _json
+
+    rc = main(["run", "sod", "--n", "80", "--steps", "4",
+               "--autotune", "--json"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    payload = _json.loads(out[out.index("{"):])
+    assert payload["tuning"]["trail"]
+    assert "recommendation" in payload["tuning"]
+
+
+def test_ledger_list_and_show(tmp_path, capsys):
+    db = str(tmp_path / "tuning.db")
+    assert main(["run", "sod", "--n", "80", "--steps", "2",
+                 "--ledger", db]) == 0
+    capsys.readouterr()
+
+    assert main(["ledger", "--path", db, "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "sod" in out and "run-id" in out
+
+    import json as _json
+
+    assert main(["ledger", "--path", db, "--json"]) == 0
+    rows = _json.loads(capsys.readouterr().out)
+    assert len(rows) == 1 and rows[0]["scenario"] == "sod"
+
+    run_id = rows[0]["run_id"]
+    assert main(["ledger", "--path", db, "--show", run_id]) == 0
+    out = capsys.readouterr().out
+    assert run_id in out and "knobs:" in out
+
+
+def test_ledger_unknown_run_exits_2(tmp_path, capsys):
+    db = str(tmp_path / "tuning.db")
+    assert main(["run", "sod", "--n", "80", "--steps", "1",
+                 "--ledger", db]) == 0
+    capsys.readouterr()
+    rc = main(["ledger", "--path", db, "--show", "sod-ffffffff"])
+    assert rc == 2
+    assert "unknown run id" in capsys.readouterr().err
+
+
+def test_ledger_missing_db_exits_2(tmp_path, capsys):
+    rc = main(["ledger", "--path", str(tmp_path / "absent.db")])
+    assert rc == 2
+    assert "no ledger" in capsys.readouterr().err
