@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Service load bench: concurrent submits against the job farm.
+
+The acceptance claim for the service layer: under a load of at least
+200 concurrent requests of which at least half are duplicates, the
+served-from-cache ratio reaches >= 0.45, every cache hit is
+bit-identical (same ``result_digest``) to the run that originated its
+cache line, and submit -> result latency lands in ``BENCH_service.json``
+as p50/p99 for the gate's drift check.
+
+Protocol:
+
+1. Start an in-process :class:`~repro.service.manager.LocalService`
+   (inline isolation — the point is queue/cache/dispatch throughput,
+   not process spawn cost) with a roomy admission queue.
+2. Fire ``N_REQUESTS`` submissions from a thread pool: ``N_UNIQUE``
+   distinct tiny specs, cycled, so each unique spec is requested
+   ``N_REQUESTS / N_UNIQUE`` times (duplicate mix
+   ``1 - N_UNIQUE/N_REQUESTS``, well above 50%).
+3. Block each submitter on its result; record per-request wall time.
+4. Assert one execution per unique spec, digest agreement within every
+   duplicate group, and the cache ratio.
+
+Env knobs: ``REPRO_BENCH_SERVICE_REQUESTS`` (default 240),
+``REPRO_BENCH_SERVICE_UNIQUE`` (default 24).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import time
+from pathlib import Path
+
+from _scaling_common import host_stamp
+from repro.service import JobSpec, LocalService, ServiceConfig
+
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "240"))
+N_UNIQUE = int(os.environ.get("REPRO_BENCH_SERVICE_UNIQUE", "24"))
+TARGET_CACHE_RATIO = 0.45
+
+OUT = Path(__file__).parent / "results" / "BENCH_service.json"
+
+
+def _percentile(sorted_vals, q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def main() -> int:
+    # Unique specs vary only the step count: same tiny IC, distinct
+    # cache lines (n_steps is hashed).
+    specs = [
+        JobSpec(scenario="sod", overrides={"n_target": 60}, n_steps=2 + i)
+        for i in range(N_UNIQUE)
+    ]
+    requests = [specs[i % N_UNIQUE] for i in range(N_REQUESTS)]
+    duplicate_mix = 1.0 - N_UNIQUE / N_REQUESTS
+
+    svc = LocalService(
+        ServiceConfig(
+            isolation="inline",
+            max_workers=4,
+            queue_capacity=max(64, N_REQUESTS),
+        )
+    )
+    latencies = []
+    outcomes = []
+    t0 = time.perf_counter()
+    try:
+        def one(spec: JobSpec):
+            start = time.perf_counter()
+            outcome = svc.submit(spec, tenant="bench").result(timeout=600)
+            return time.perf_counter() - start, outcome
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=32) as pool:
+            for elapsed, outcome in pool.map(one, requests):
+                latencies.append(elapsed)
+                outcomes.append(outcome)
+        stats = svc.stats()
+    finally:
+        svc.close()
+    wall_s = time.perf_counter() - t0
+
+    # Bit-identity: within each duplicate group, exactly one digest.
+    digests_by_hash = {}
+    executed_digest_by_hash = {}
+    ok = True
+    for spec, outcome in zip(requests, outcomes):
+        key = outcome.spec_hash
+        digests_by_hash.setdefault(key, set()).add(outcome.result_digest)
+        if not outcome.cached:
+            executed_digest_by_hash[key] = outcome.result_digest
+    for key, digests in digests_by_hash.items():
+        if len(digests) != 1:
+            print(f"FAIL: spec {key[:12]} served {len(digests)} digests")
+            ok = False
+        elif executed_digest_by_hash.get(key) not in digests:
+            print(f"FAIL: spec {key[:12]} cache hits disagree with its run")
+            ok = False
+
+    served_ratio = (stats["cache_hits"] + stats["coalesced"]) / N_REQUESTS
+    latencies.sort()
+    record = {
+        **host_stamp(),
+        "n_requests": N_REQUESTS,
+        "n_unique": N_UNIQUE,
+        "duplicate_mix": duplicate_mix,
+        "executed": stats["executed"],
+        "cache_hits": stats["cache_hits"],
+        "coalesced": stats["coalesced"],
+        "rejected": stats["rejected"],
+        "served_from_cache": served_ratio,
+        "target_cache_ratio": TARGET_CACHE_RATIO,
+        "digests_consistent": ok,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "wall_s": wall_s,
+        "requests_per_s": N_REQUESTS / wall_s,
+    }
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(
+        f"{N_REQUESTS} requests ({N_UNIQUE} unique, "
+        f"{duplicate_mix:.0%} duplicates) in {wall_s:.2f}s: "
+        f"{stats['executed']} executed, {stats['cache_hits']} cache hits, "
+        f"{stats['coalesced']} coalesced -> served-from-cache "
+        f"{served_ratio:.2f} (target >= {TARGET_CACHE_RATIO})"
+    )
+    print(
+        f"latency p50 {record['p50_ms']:.1f} ms, "
+        f"p99 {record['p99_ms']:.1f} ms; digests "
+        f"{'consistent' if ok else 'INCONSISTENT'}"
+    )
+    if stats["executed"] != N_UNIQUE:
+        print(f"FAIL: expected {N_UNIQUE} executions, got {stats['executed']}")
+        ok = False
+    if served_ratio < TARGET_CACHE_RATIO:
+        print("FAIL: served-from-cache ratio below target")
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Gate the service load bench: cache ratio, digest identity, latency drift.
+
+Reads a fresh ``benchmarks/results/BENCH_service.json`` and fails when
+
+* the served-from-cache ratio under the duplicate-heavy load falls
+  below the 0.45 acceptance floor,
+* any duplicate group was served inconsistent result digests (a cache
+  hit must be bit-identical to the run that originated its line), or
+* p99 latency worsened by more than 50% against the committed
+  ``benchmarks/baselines/BENCH_service.json`` — a drift check that is
+  *refused* when the two records carry differing ``host_id``
+  fingerprints: latencies from two machines differ for machine
+  reasons, not code reasons.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TARGET_CACHE_RATIO = 0.45
+LATENCY_DRIFT_FACTOR = 1.5  # p99 may not worsen past baseline * this
+
+ROOT = Path(__file__).parent
+RESULT = ROOT / "results" / "BENCH_service.json"
+BASELINE = ROOT / "baselines" / "BENCH_service.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"no fresh result at {RESULT}; run bench_service first")
+        return 1
+    current = json.loads(RESULT.read_text())
+
+    failed = False
+    ratio = current["served_from_cache"]
+    verdict = "OK" if ratio >= TARGET_CACHE_RATIO else "FAIL"
+    print(
+        f"served-from-cache {ratio:.2f} over {current['n_requests']} "
+        f"requests ({current['duplicate_mix']:.0%} duplicates) "
+        f"(target >= {TARGET_CACHE_RATIO}) {verdict}"
+    )
+    if ratio < TARGET_CACHE_RATIO:
+        failed = True
+
+    if not current.get("digests_consistent", False):
+        print("FAIL: cache hits were not bit-identical to their runs")
+        failed = True
+    else:
+        print(
+            f"digest identity OK across {current['n_unique']} duplicate "
+            f"groups ({current['executed']} executions)"
+        )
+
+    print(
+        f"latency p50 {current['p50_ms']:.1f} ms, "
+        f"p99 {current['p99_ms']:.1f} ms"
+    )
+
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        cur_host = current.get("host_id")
+        ref_host = baseline.get("host_id")
+        if cur_host and ref_host and cur_host != ref_host:
+            print(
+                "skipping latency drift check: cross-host comparison "
+                f"refused (fresh result from host {cur_host}, baseline "
+                f"from {ref_host}); re-baseline on this machine to re-arm"
+            )
+        else:
+            limit = baseline["p99_ms"] * LATENCY_DRIFT_FACTOR
+            verdict = "OK" if current["p99_ms"] <= limit else "FAIL"
+            print(
+                f"p99 drift: {current['p99_ms']:.1f} ms vs baseline "
+                f"{baseline['p99_ms']:.1f} ms "
+                f"(limit {limit:.1f} ms) {verdict}"
+            )
+            if current["p99_ms"] > limit:
+                failed = True
+    else:
+        print(f"no baseline at {BASELINE}; skipping drift check")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,15 @@ a simulated cluster with machine models of Piz Daint and MareNostrum 4,
 domain decomposition, dynamic load balancing, fault tolerance and
 Extrae-like tracing with POP metrics.
 
-Quick start::
+The public surface is :mod:`repro.api` — specs in, handles out::
+
+    from repro import api
+
+    handle = api.submit(api.JobSpec(scenario="sod", n_steps=50))
+    outcome = handle.result()   # deduped: same spec twice runs once
+    print(outcome.drift, outcome.result_digest)
+
+The classic driver loop remains supported for library use::
 
     from repro import make_square_patch, Simulation, SPHYNX, SquarePatchConfig
 
@@ -17,6 +25,10 @@ Quick start::
     sim = Simulation(particles, box, eos, config=SPHYNX)
     sim.run(n_steps=5)
     print(sim.conservation_drift())
+
+``__all__`` below is the supported import surface.  Everything else
+(profiling, tree, IC helpers, POP metrics, ...) still imports from its
+owning submodule — see the migration table in :mod:`repro.compat`.
 """
 
 from .core import (
@@ -48,44 +60,57 @@ from .profiling import PopMetrics, State, Tracer, compute_pop_metrics, render_ti
 from .scenarios import Scenario, all_scenarios, get_scenario, scenario_names
 from .tree import Box, NeighborList, Octree, cell_grid_search
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The supported import surface, pruned to the PR-10 API redesign: the
+#: service entry points (lazy — see ``__getattr__``), the driver loop,
+#: the presets and the scenario registry.  The helper families that
+#: used to ride along (profiling, tree, ICs, kernels) stay importable
+#: as attributes for compatibility but are no longer advertised here.
 __all__ = [
     "__version__",
-    "ParticleSystem",
+    # Service / redesigned API (lazily imported)
+    "api",
+    "JobSpec",
+    "submit",
+    # Driver loop
     "Simulation",
     "SimulationConfig",
     "RunConfig",
-    "ObservabilityConfig",
-    "RunReport",
     "StepStats",
-    "Phase",
-    "ConservationState",
-    "measure_conservation",
-    "relative_drift",
+    "ParticleSystem",
+    "RunReport",
+    "ObservabilityConfig",
+    # Presets
     "SPHYNX",
     "CHANGA",
     "SPHFLOW",
     "SPH_EXA",
     "PRESETS",
     "get_preset",
-    "EvrardConfig",
-    "SquarePatchConfig",
-    "make_evrard",
-    "make_square_patch",
-    "make_kernel",
-    "available_kernels",
+    # Scenario registry
     "Scenario",
     "get_scenario",
     "all_scenarios",
     "scenario_names",
-    "Box",
-    "NeighborList",
-    "Octree",
-    "cell_grid_search",
-    "Tracer",
-    "State",
-    "PopMetrics",
-    "compute_pop_metrics",
-    "render_timeline",
 ]
+
+#: Lazily-resolved exports: ``repro.api`` pulls in asyncio/service
+#: machinery that plain library users (``from repro import Simulation``)
+#: should not pay for at import time.
+_LAZY = {"api", "JobSpec", "submit"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        _api = importlib.import_module(".api", __name__)
+        if name == "api":
+            return _api
+        return getattr(_api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | _LAZY)

@@ -1,439 +1,18 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""``python -m repro`` — thin launcher for :mod:`repro.cli`.
 
-Mini-apps live or die by how easy they are to drive — "the building
-should be kept as simple as a Makefile and the preparation of the run to
-a handful of command line arguments" (Section 2, quoting Messer et al.).
-This CLI exposes the library's main entry points with exactly that
-surface.
-
-Commands::
-
-    python -m repro run <scenario> [--n 500 | --side 16 --layers 8] [--steps 5]
-    python -m repro run sedov --steps 10 --json
-    python -m repro scenarios [--list | --json]
-    python -m repro scaling --code sph-flow --test square --n 200000
-    python -m repro tables
-
-``run`` accepts any name from the scenario registry
-(:mod:`repro.scenarios`); ``scenarios`` lists the registry.  The legacy
-spelling ``squarepatch`` keeps working as an alias of ``square-patch``.
+The CLI implementation moved to :mod:`repro.cli` when the service
+commands landed; this module keeps both ``python -m repro`` and the
+historical ``from repro.__main__ import build_parser, main`` imports
+working.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 
-#: Legacy spellings accepted by earlier releases of this CLI.
-_ALIASES = {"squarepatch": "square-patch"}
+from .cli import build_parser, main
 
-
-def _cmd_run(args: argparse.Namespace) -> int:
-    from .core.presets import get_preset
-    from .scenarios import UnknownScenarioError, get_scenario
-
-    try:
-        scenario = get_scenario(_ALIASES.get(args.case, args.case))
-    except UnknownScenarioError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-
-    overrides = {}
-    if args.n is not None:
-        if scenario.size_param is None:
-            print(
-                f"error: {scenario.name} is sized with --side/--layers, not --n",
-                file=sys.stderr,
-            )
-            return 2
-        overrides[scenario.size_param] = args.n
-    if args.side is not None or args.layers is not None:
-        if scenario.name != "square-patch":
-            print(
-                f"error: --side/--layers only apply to square-patch, "
-                f"not {scenario.name}",
-                file=sys.stderr,
-            )
-            return 2
-        if args.side is not None:
-            overrides["side"] = args.side
-        if args.layers is not None:
-            overrides["layers"] = args.layers
-
-    # The preset picks the Table 1-2 algorithm column; the scenario then
-    # pins the physics switches it needs on top (neighbour count, time
-    # -step criteria, viscosity limiter).
-    preset = get_preset(args.preset)
-    needs = scenario.sim_config
-    config = preset.with_(
-        n_neighbors=args.neighbors if args.neighbors is not None else needs.n_neighbors,
-        timestep_params=needs.timestep_params,
-        viscosity=needs.viscosity,
-    )
-    if args.error_detection:
-        config = config.with_(error_detection=True)
-
-    # Execution environment: self-healing guard, rolling checkpoints and
-    # (for validation runs) deterministic numerical fault injection.
-    from .core.config import RunConfig
-
-    run_config = RunConfig()
-    if args.guard:
-        from .resilience.guard import GuardConfig
-
-        run_config = run_config.with_(
-            guard=GuardConfig(drift_tolerances=scenario.invariants)
-        )
-    if args.checkpoint_dir is not None:
-        from .resilience.checkpoint import ResilienceConfig
-
-        run_config = run_config.with_(
-            resilience=ResilienceConfig(checkpoint_dir=args.checkpoint_dir)
-        )
-    if args.backend is not None:
-        import dataclasses
-
-        from .parallel.executor import ExecConfig
-
-        base_exec = run_config.exec if run_config.exec is not None else ExecConfig()
-        run_config = run_config.with_(
-            exec=dataclasses.replace(base_exec, backend=args.backend)
-        )
-    if args.chaos is not None:
-        from .resilience.chaos import parse_numerical_faults
-
-        try:
-            run_config = run_config.with_(
-                numerical_chaos=parse_numerical_faults(args.chaos)
-            )
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-    if args.ledger is not None:
-        run_config = run_config.with_(
-            observability=run_config.observability.with_(
-                ledger_path=args.ledger
-            )
-        )
-    if args.autotune:
-        from .tuning.autotuner import TuningConfig
-
-        run_config = run_config.with_(
-            tuning=TuningConfig(seed=args.autotune_seed)
-        )
-
-    particles, box, eos = scenario.build(**overrides)
-    print(f"{args.case}: {particles.n} particles, preset {preset.label}")
-    from .core.simulation import Simulation
-
-    n_steps = args.steps if args.steps is not None else scenario.default_steps
-    sim = Simulation(
-        particles, box, eos, config=config, g_const=scenario.g_const,
-        run_config=run_config, scenario=scenario.name,
-    )
-    print(f"backend: {sim.backend.name} "
-          f"(requested {sim.backend_requested}; {sim.backend.version})")
-    try:
-        try:
-            # One run() call per step keeps the per-step progress lines
-            # while routing through the guard/autoresume dispatch.
-            for _ in range(n_steps):
-                for s in sim.run(n_steps=1):
-                    print(f"  step {s.index}: t={s.time:.4e} dt={s.dt:.2e} "
-                          f"{s.conservation.summary()}")
-        except Exception as exc:  # noqa: BLE001 - the CLI failure boundary
-            return _report_failure(sim, exc, scenario, args)
-        drift = sim.conservation_drift()
-        print(f"drift: mass={drift['mass']:.2e} momentum={drift['momentum']:.2e} "
-              f"energy={drift['energy']:.2e}")
-        rep = sim.report()
-        if rep.guard is not None:
-            print(rep.guard.summary())
-        if rep.tuning is not None:
-            from .observability.report import format_tuning
-
-            print(format_tuning(rep.tuning))
-        if args.json:
-            summary = {
-                "scenario": scenario.name,
-                "preset": preset.label,
-                "n_particles": particles.n,
-                "n_steps": n_steps,
-                "final_time": sim.time,
-                "final_dt": sim.history[-1].dt if sim.history else None,
-                "drift": drift,
-                "guard": rep.guard.as_dict() if rep.guard is not None else None,
-                "sdc": rep.sdc,
-                "backend": rep.backend,
-                "tuning": rep.tuning,
-            }
-            print(json.dumps(summary, indent=2))
-    finally:
-        sim.close()
-    return 0
-
-
-def _report_failure(sim, exc, scenario, args) -> int:
-    """Failure UX: one readable paragraph + optional JSON record, exit 1.
-
-    A dying run — guard-terminal or any other step-loop error — must not
-    greet the operator with a raw traceback.  The guard's structured
-    post-mortem is used when available; other exceptions get a paragraph
-    built from the driver's position.
-    """
-    from .resilience.guard import UnrecoverableStepError
-
-    if isinstance(exc, UnrecoverableStepError):
-        pm = exc.post_mortem
-        paragraph = pm.describe()
-        record = {"error": "unrecoverable-step", "post_mortem": pm.as_dict()}
-    else:
-        paragraph = (
-            f"step {sim.step_index} (t={sim.time:.6g}) failed with "
-            f"{type(exc).__name__}: {exc}. The run completed "
-            f"{len(sim.history)} healthy step(s) before dying; re-run "
-            f"with --guard to enable rollback-and-retry recovery."
-        )
-        record = {
-            "error": type(exc).__name__,
-            "message": str(exc),
-            "step": sim.step_index,
-            "time": sim.time,
-        }
-    print(f"error: run failed — {paragraph}", file=sys.stderr)
-    if args.json:
-        record["scenario"] = scenario.name
-        guard = sim.step_guard.report() if sim.step_guard is not None else None
-        record["guard"] = guard.as_dict() if guard is not None else None
-        print(json.dumps(record, indent=2))
-    return 1
-
-
-def _cmd_scenarios(args: argparse.Namespace) -> int:
-    from .scenarios import all_scenarios, golden_path
-
-    entries = []
-    for sc in all_scenarios():
-        gate = None
-        if sc.analytic is not None:
-            gate = {
-                "fields": sorted(sc.analytic.tolerances),
-                "tolerances": dict(sc.analytic.tolerances),
-                "n_steps": sc.analytic.n_steps,
-            }
-        entries.append(
-            {
-                "name": sc.name,
-                "description": sc.description,
-                "params": dict(sc.params),
-                "test_params": dict(sc.test_params),
-                "invariants": dict(sc.invariants),
-                "analytic_gate": gate,
-                "golden": golden_path(sc.name).exists(),
-            }
-        )
-
-    if args.json:
-        print(json.dumps(entries, indent=2))
-        return 0
-
-    name_w = max(len(e["name"]) for e in entries)
-    print(f"{'scenario':<{name_w}}  gate        golden  description")
-    for e in entries:
-        gate = ",".join(e["analytic_gate"]["fields"]) if e["analytic_gate"] else "-"
-        golden = "yes" if e["golden"] else "MISSING"
-        print(f"{e['name']:<{name_w}}  {gate:<10}  {golden:<6}  {e['description']}")
-    return 0
-
-
-def _cmd_scaling(args: argparse.Namespace) -> int:
-    from .core.presets import get_preset
-    from .runtime import (
-        MACHINES,
-        build_workload,
-        format_scaling_table,
-        strong_scaling,
-    )
-
-    preset = get_preset(args.code)
-    workload = build_workload(args.test, args.n)
-    machine = MACHINES[args.machine]
-    cores = tuple(int(c) for c in args.cores.split(","))
-    series = strong_scaling(preset, args.test, machine, cores,
-                            workload=workload, n_steps=args.steps)
-    print(format_scaling_table([series]))
-    for p in series.points:
-        print(f"  {p.pop.row()}")
-    return 0
-
-
-def _cmd_tables(args: argparse.Namespace) -> int:
-    from .core.feature_tables import (
-        table1_physics_features,
-        table2_miniapp_features,
-        table3_cs_features,
-        table4_miniapp_cs_features,
-    )
-
-    for table in (
-        table1_physics_features(),
-        table2_miniapp_features(),
-        table3_cs_features(),
-        table4_miniapp_cs_features(),
-    ):
-        print(table)
-        print()
-    return 0
-
-
-def _cmd_ledger(args: argparse.Namespace) -> int:
-    import dataclasses
-    import os
-
-    from .observability.ledger import RunLedger
-
-    if not os.path.exists(args.path):
-        print(f"error: no ledger at {args.path!r}", file=sys.stderr)
-        return 2
-
-    with RunLedger(args.path) as ledger:
-        if args.show is not None:
-            rec = ledger.get(args.show)
-            if rec is None:
-                print(f"error: unknown run id {args.show!r}", file=sys.stderr)
-                return 2
-            if args.json:
-                print(json.dumps(dataclasses.asdict(rec), indent=2))
-                return 0
-            p50 = rec.step_p50()
-            print(f"run {rec.run_id}")
-            print(f"  scenario={rec.scenario} n={rec.n_particles} "
-                  f"steps={rec.n_steps} backend={rec.backend}")
-            print(f"  host={rec.host_id} code={rec.code_version}")
-            print(f"  step p50: "
-                  f"{p50 * 1e3:.2f} ms" if p50 is not None else "  step p50: -")
-            print(f"  knobs: {json.dumps(rec.knobs, sort_keys=True)}")
-            for phase, agg in sorted(rec.phases.items()):
-                total = agg.get("total_s", 0.0)
-                print(f"  phase {phase}: total={total * 1e3:.2f} ms "
-                      f"spans={agg.get('count', 0)}")
-            if rec.pop:
-                print(f"  pop: {json.dumps(rec.pop, sort_keys=True)}")
-            if rec.recovery:
-                print(f"  recovery: {json.dumps(rec.recovery, sort_keys=True)}")
-            return 0
-
-        rows = ledger.runs(scenario=args.scenario, limit=args.limit)
-        if args.json:
-            print(json.dumps(
-                [dataclasses.asdict(r) for r in rows], indent=2
-            ))
-            return 0
-        if not rows:
-            print("ledger is empty")
-            return 0
-        print(f"{'run-id':<24} {'scenario':<14} {'n':>8} {'steps':>5} "
-              f"{'backend':<7} {'p50 ms/step':>11}  host")
-        for r in rows:
-            p50 = r.step_p50()
-            p50_s = f"{p50 * 1e3:.2f}" if p50 is not None else "-"
-            print(f"{r.run_id:<24} {r.scenario:<14} {r.n_particles:>8} "
-                  f"{r.n_steps:>5} {r.backend:<7} {p50_s:>11}  {r.host_id}")
-    return 0
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="SPH-EXA mini-app reproduction (CLUSTER 2018)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    run = sub.add_parser("run", help="run a scenario from the registry")
-    run.add_argument("case", metavar="scenario",
-                     help="a registry name (see: python -m repro scenarios)")
-    run.add_argument("--preset", default="sph-exa",
-                     help="sphynx | changa | sph-flow | sph-exa")
-    run.add_argument("--side", type=int, default=None,
-                     help="square-patch only: particles per side")
-    run.add_argument("--layers", type=int, default=None,
-                     help="square-patch only: extruded Z layers")
-    run.add_argument("--n", type=int, default=None,
-                     help="size (particle target or lattice cells per axis, "
-                          "depending on the scenario)")
-    run.add_argument("--steps", type=int, default=None)
-    run.add_argument("--neighbors", type=int, default=None)
-    run.add_argument("--backend", default=None,
-                     choices=("numpy", "numba", "cffi", "auto"),
-                     help="SPH hot-path execution backend (default numpy; "
-                          "'auto' picks the best compiled one available)")
-    run.add_argument("--json", action="store_true",
-                     help="print a machine-readable run summary")
-    run.add_argument("--guard", action="store_true",
-                     help="enable the self-healing step guard (rollback-"
-                          "and-retry with the scenario's invariant bounds)")
-    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
-                     help="write rolling checkpoints to DIR (autoresume on)")
-    run.add_argument("--chaos", default=None, metavar="SPEC",
-                     help="inject numerical faults: kind:array@step"
-                          "[:site][*fires][!] (e.g. nan:rho@3, huge:cs@4, "
-                          "nan:rho@2! for a persistent fault)")
-    run.add_argument("--error-detection", action="store_true",
-                     help="run the per-step SDC monitor (Table 4)")
-    run.add_argument("--autotune", action="store_true",
-                     help="let the online autotuner pick the execution "
-                          "knobs (backend, pair engine, cache, workers) "
-                          "over the first steps of the run")
-    run.add_argument("--autotune-seed", type=int, default=0, metavar="SEED",
-                     help="seed for the deterministic exploration order")
-    run.add_argument("--ledger", default=None, metavar="DB",
-                     help="append this run to the sqlite run ledger at DB "
-                          "(also the autotuner's warm-start history)")
-    run.set_defaults(func=_cmd_run)
-
-    scen = sub.add_parser("scenarios", help="list the scenario registry")
-    scen.add_argument("--list", action="store_true",
-                      help="print the table (default)")
-    scen.add_argument("--json", action="store_true",
-                      help="print the registry as JSON")
-    scen.set_defaults(func=_cmd_scenarios)
-
-    scal = sub.add_parser("scaling", help="strong-scaling sweep (modeled)")
-    scal.add_argument("--code", default="sph-flow")
-    scal.add_argument("--test", default="square", choices=("square", "evrard"))
-    scal.add_argument("--machine", default="piz-daint",
-                      choices=("piz-daint", "marenostrum4"))
-    scal.add_argument("--n", type=int, default=200_000)
-    scal.add_argument("--steps", type=int, default=5)
-    scal.add_argument("--cores", default="12,24,48,96,192,384")
-    scal.set_defaults(func=_cmd_scaling)
-
-    tables = sub.add_parser("tables", help="print the Table 1-4 matrices")
-    tables.set_defaults(func=_cmd_tables)
-
-    ledger = sub.add_parser("ledger", help="inspect the run-history ledger")
-    ledger.add_argument("--path", default="tuning.db", metavar="DB",
-                        help="ledger database file (default: tuning.db)")
-    ledger.add_argument("--list", action="store_true",
-                        help="print the run table (default)")
-    ledger.add_argument("--show", default=None, metavar="RUN_ID",
-                        help="print one run's full record")
-    ledger.add_argument("--scenario", default=None,
-                        help="filter --list by scenario name")
-    ledger.add_argument("--limit", type=int, default=20,
-                        help="max rows for --list (default 20)")
-    ledger.add_argument("--json", action="store_true",
-                        help="machine-readable output")
-    ledger.set_defaults(func=_cmd_ledger)
-    return parser
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    return args.func(args)
-
+__all__ = ["build_parser", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,112 @@
+"""The deprecated pre-``repro.api`` surface, in one documented place.
+
+Between PR 4 (driver-API consolidation) and PR 10 (the service/API
+redesign) the old entry points lived as warn-shims scattered through
+:mod:`repro.core.simulation`.  They now live here — one module to read
+to learn what moved where, one module to delete when the compatibility
+window closes.  Everything below keeps working and warns exactly once
+per process (:func:`repro.observability.deprecation.warn_once`).
+
+Migration table
+===============
+
+=============================================  ==============================
+Deprecated                                     Replacement
+=============================================  ==============================
+``Simulation(exec_config=...)``                ``Simulation(run_config=RunConfig(exec=...))``
+                                               or ``sim.configure(exec=...)``
+``Simulation(resilience=...)``                 ``Simulation(run_config=RunConfig(resilience=...))``
+                                               or ``sim.configure(resilience=...)``
+``sim.pair_engine_stats``                      ``sim.report().pair_engine``
+``sim.neighbor_cache_stats``                   ``sim.report().neighbor_cache``
+``sim.supervisor_stats``                       ``sim.report().recovery``
+``from repro import Tracer, State, ...``       keep importing from the owning
+(profiling/tree/conservation helpers pruned    submodule (``repro.profiling``,
+from ``repro.__all__``)                        ``repro.tree``, ``repro.core``)
+blocking ``Simulation.run()`` as the only      ``repro.api.submit(spec)`` (job
+entry point                                    farm + result cache) with
+                                               ``repro.api.run(spec)`` as the
+                                               synchronous wrapper
+=============================================  ==============================
+
+The shims are exercised by the PR-4 era tests (``tests/test_simulation
+.py``, ``tests/test_observability.py``) — they pin both that the old
+spellings still work and that each warns.
+"""
+
+from __future__ import annotations
+
+from .observability.deprecation import warn_once
+
+__all__ = [
+    "resolve_legacy_driver_kwargs",
+    "legacy_pair_engine_stats",
+    "legacy_neighbor_cache_stats",
+    "legacy_supervisor_stats",
+]
+
+
+def resolve_legacy_driver_kwargs(sim) -> None:
+    """Fold the deprecated ``exec_config``/``resilience`` constructor
+    kwargs into ``sim.run_config`` (PR-4 shim, unchanged semantics).
+
+    Called from ``Simulation.__post_init__``.  Passing both the old
+    kwargs and a ``run_config`` is an error, not a merge.
+    """
+    if sim.run_config is not None and (
+        sim.exec_config is not None or sim.resilience is not None
+    ):
+        raise ValueError(
+            "pass either run_config or the deprecated "
+            "exec_config/resilience kwargs, not both"
+        )
+    if sim.run_config is None:
+        from .core.config import RunConfig
+
+        if sim.exec_config is not None:
+            warn_once(
+                "Simulation.exec_config",
+                "Simulation(exec_config=...) is deprecated; use "
+                "run_config=RunConfig(exec=...) or "
+                "Simulation.configure(exec=...)",
+            )
+        if sim.resilience is not None:
+            warn_once(
+                "Simulation.resilience",
+                "Simulation(resilience=...) is deprecated; use "
+                "run_config=RunConfig(resilience=...) or "
+                "Simulation.configure(resilience=...)",
+            )
+        sim.run_config = RunConfig(
+            exec=sim.exec_config, resilience=sim.resilience
+        )
+
+
+def legacy_pair_engine_stats(sim):
+    """``sim.pair_engine_stats`` shim → ``report().pair_engine``."""
+    warn_once(
+        "Simulation.pair_engine_stats",
+        "Simulation.pair_engine_stats is deprecated; use "
+        "Simulation.report().pair_engine",
+    )
+    return sim._pair_stats_total()
+
+
+def legacy_neighbor_cache_stats(sim):
+    """``sim.neighbor_cache_stats`` shim → ``report().neighbor_cache``."""
+    warn_once(
+        "Simulation.neighbor_cache_stats",
+        "Simulation.neighbor_cache_stats is deprecated; use "
+        "Simulation.report().neighbor_cache",
+    )
+    return sim._ncache.stats if sim._ncache is not None else None
+
+
+def legacy_supervisor_stats(sim):
+    """``sim.supervisor_stats`` shim → ``report().recovery``."""
+    warn_once(
+        "Simulation.supervisor_stats",
+        "Simulation.supervisor_stats is deprecated; use "
+        "Simulation.report().recovery",
+    )
+    return sim._engine.supervisor_stats if sim._engine is not None else None

@@ -27,7 +27,6 @@ from ..backend import select_backend
 from ..gradients.iad import compute_iad_matrices
 from ..gravity.barnes_hut import barnes_hut_gravity
 from ..kernels.registry import make_kernel
-from ..observability.deprecation import warn_once
 from ..observability.tracer import make_tracer
 from ..profiling.trace import State, Tracer
 from ..sph.density import compute_density
@@ -57,7 +56,21 @@ if TYPE_CHECKING:  # avoid the core <-> parallel import cycle at runtime
     from ..parallel.executor import ExecConfig
     from ..resilience.checkpoint import ResilienceConfig
 
-__all__ = ["StepStats", "Simulation"]
+__all__ = ["StepStats", "Simulation", "RunCancelled"]
+
+
+class RunCancelled(RuntimeError):
+    """Raised by :meth:`Simulation.run` at the cooperative cancellation
+    point after :meth:`Simulation.request_cancel` was called.
+
+    The driver state is left at the last *completed* step (nothing is
+    rolled back), so a cancelled run can be reported, checkpointed or
+    resumed like any other interrupted one.
+    """
+
+    def __init__(self, step_index: int):
+        self.step_index = step_index
+        super().__init__(f"run cancelled at step {step_index}")
 
 
 @dataclass(frozen=True)
@@ -129,33 +142,23 @@ class Simulation:
     #: by :meth:`repro.scenarios.registry.Scenario.make_simulation` and
     #: the CLI, ``None`` for hand-built runs).
     scenario: Optional[str] = None
+    #: Stable identity of this execution.  Minted at construction (not at
+    #: ledger-append time) so the service's result store and the run
+    #: ledger file the same execution under the same key; pass one in to
+    #: adopt an externally minted id (the job manager does).
+    run_id: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.run_config is not None and (
-            self.exec_config is not None or self.resilience is not None
-        ):
-            raise ValueError(
-                "pass either run_config or the deprecated "
-                "exec_config/resilience kwargs, not both"
-            )
-        if self.run_config is None:
-            if self.exec_config is not None:
-                warn_once(
-                    "Simulation.exec_config",
-                    "Simulation(exec_config=...) is deprecated; use "
-                    "run_config=RunConfig(exec=...) or "
-                    "Simulation.configure(exec=...)",
-                )
-            if self.resilience is not None:
-                warn_once(
-                    "Simulation.resilience",
-                    "Simulation(resilience=...) is deprecated; use "
-                    "run_config=RunConfig(resilience=...) or "
-                    "Simulation.configure(resilience=...)",
-                )
-            self.run_config = RunConfig(
-                exec=self.exec_config, resilience=self.resilience
-            )
+        # The deprecated PR-4 constructor kwargs (exec_config/resilience)
+        # resolve in repro.compat — the one documented home of the old
+        # surface — into a RunConfig, warning once per process.
+        from ..compat import resolve_legacy_driver_kwargs
+
+        resolve_legacy_driver_kwargs(self)
+        if self.run_id is None:
+            from ..observability.ledger import new_run_id
+
+            self.run_id = new_run_id(self.scenario or self.config.label)
         self._owns_tracer = self.tracer is None
         self.kernel = make_kernel(self.config.kernel)
         self.time = 0.0
@@ -176,6 +179,13 @@ class Simulation:
         self._engine = None
         self._autotuner = None
         self._ledger_written = False
+        #: Steps actually executed by *this* driver (unlike
+        #: ``step_index``, a checkpoint restore does not advance it) —
+        #: the ledger-append predicate, so a never-run or
+        #: restored-but-idle driver writes no phantom history row.
+        self._steps_executed = 0
+        self._progress_hook = None
+        self._cancel_requested = False
         self._apply_run_config()
         self.initial_conservation: Optional[ConservationState] = None
         # Table 4 "Error Detection": with error_detection enabled the
@@ -397,13 +407,10 @@ class Simulation:
 
     @property
     def pair_engine_stats(self) -> PairEngineStats:
-        """Deprecated — use ``report().pair_engine``."""
-        warn_once(
-            "Simulation.pair_engine_stats",
-            "Simulation.pair_engine_stats is deprecated; use "
-            "Simulation.report().pair_engine",
-        )
-        return self._pair_stats_total()
+        """Deprecated — use ``report().pair_engine`` (see :mod:`repro.compat`)."""
+        from ..compat import legacy_pair_engine_stats
+
+        return legacy_pair_engine_stats(self)
 
     # ------------------------------------------------------------------
     # Rate evaluation: Algorithm 1 steps 1-4 (phases A-I)
@@ -643,6 +650,7 @@ class Simulation:
 
         self.time += dt
         self.step_index += 1
+        self._steps_executed += 1
         nl = self._nlist
         with tr.phase(Phase.AUX_KERNELS.letter, State.USEFUL, self.rank):
             conservation = measure_conservation(p, self.time, self.potential_energy)
@@ -713,6 +721,11 @@ class Simulation:
                 break
             if t_end is not None and self.time >= t_end:
                 break
+            # Cooperative cancellation point: between steps, where the
+            # state is whole and checkpointable.
+            if self._cancel_requested:
+                self._cancel_requested = False
+                raise RunCancelled(self.step_index)
             tuner = self._autotuner
             if tuner is not None and not tuner.done:
                 tuner.before_step()
@@ -727,7 +740,31 @@ class Simulation:
                 done.append(self.step_guard.guarded_step(self))
             else:
                 done.append(self.step())
+            if self._progress_hook is not None:
+                self._progress_hook(done[-1])
         return done
+
+    # ------------------------------------------------------------------
+    # Service hooks: progress streaming + cooperative cancellation
+    # ------------------------------------------------------------------
+    def on_step(self, hook) -> "Simulation":
+        """Install a per-step progress callback (``hook(stats)``).
+
+        Called from :meth:`run` after each *healthy* completed step —
+        behind the guard's health check, so subscribers never observe a
+        step the guard is about to roll back.  ``None`` uninstalls.
+        Returns ``self`` for chaining.
+        """
+        self._progress_hook = hook
+        return self
+
+    def request_cancel(self) -> None:
+        """Ask the run loop to stop at the next between-steps boundary.
+
+        Safe to call from any thread (a bare flag write); the loop
+        raises :class:`RunCancelled` before starting another step.
+        """
+        self._cancel_requested = True
 
     def degrade_to_serial(self) -> None:
         """Drop to the plain serial path: pool off, pair engine off,
@@ -888,23 +925,17 @@ class Simulation:
 
     @property
     def neighbor_cache_stats(self):
-        """Deprecated — use ``report().neighbor_cache``."""
-        warn_once(
-            "Simulation.neighbor_cache_stats",
-            "Simulation.neighbor_cache_stats is deprecated; use "
-            "Simulation.report().neighbor_cache",
-        )
-        return self._ncache.stats if self._ncache is not None else None
+        """Deprecated — use ``report().neighbor_cache`` (see :mod:`repro.compat`)."""
+        from ..compat import legacy_neighbor_cache_stats
+
+        return legacy_neighbor_cache_stats(self)
 
     @property
     def supervisor_stats(self):
-        """Deprecated — use ``report().recovery``."""
-        warn_once(
-            "Simulation.supervisor_stats",
-            "Simulation.supervisor_stats is deprecated; use "
-            "Simulation.report().recovery",
-        )
-        return self._engine.supervisor_stats if self._engine is not None else None
+        """Deprecated — use ``report().recovery`` (see :mod:`repro.compat`)."""
+        from ..compat import legacy_supervisor_stats
+
+        return legacy_supervisor_stats(self)
 
     def close(self) -> None:
         """Release the pool and flush any configured trace exports.
@@ -926,7 +957,10 @@ class Simulation:
             obs is not None
             and obs.ledger_path
             and not self._ledger_written
-            and self.step_index > 0
+            # Append only when *this driver* executed steps: a never-run
+            # driver (cache-hit job) or one that merely restored a
+            # checkpoint must not write a phantom history row.
+            and self._steps_executed > 0
         ):
             # A broken ledger must never turn a clean shutdown into a
             # crash — the run's results matter more than its history row.

@@ -52,6 +52,7 @@ __all__ = [
     "code_version",
     "RunRecord",
     "RunLedger",
+    "new_run_id",
     "record_from_simulation",
 ]
 
@@ -490,8 +491,12 @@ def record_from_simulation(sim, *, scenario: Optional[str] = None) -> RunRecord:
         extra["tuning"] = report.tuning
 
     fp = host_fingerprint()
+    # Adopt the driver's own identity when it has one (minted at
+    # construction, shared with the service's result store) so the two
+    # durable records of one execution agree on run_id.
+    run_id = getattr(sim, "run_id", None) or new_run_id(name)
     return RunRecord(
-        run_id=new_run_id(name),
+        run_id=run_id,
         created_s=time.time(),
         scenario=name,
         n_particles=int(sim.particles.n),

@@ -43,6 +43,7 @@ __all__ = [
     "NumericalFault",
     "NumericalChaosPolicy",
     "CheckpointIOChaos",
+    "ProcessKillFault",
     "parse_numerical_faults",
 ]
 
@@ -372,6 +373,49 @@ def parse_numerical_faults(text: str) -> NumericalChaosPolicy:
     if not faults:
         raise ValueError("empty numerical fault spec")
     return NumericalChaosPolicy(faults)
+
+
+# ======================================================================
+# Process chaos: fail-stop the *hosting* process (service worker slots)
+# ======================================================================
+@dataclass
+class ProcessKillFault:
+    """Deterministic fail-stop of the process running a simulation.
+
+    The pool-level ``kill`` action above fail-stops a *pool worker*;
+    this fail-stops the whole driver process — the fault model of the
+    service's job slots, where one OS process owns one run and the job
+    manager must absorb its death via checkpoint autoresume.
+
+    Fire-once must survive the respawn (a recovered job re-reaches the
+    trigger step), so the fired bit is a ``marker`` file next to the
+    job's checkpoints rather than in-process state: the first process to
+    reach ``step`` creates the marker and SIGKILLs itself mid-flight;
+    the respawned process sees the marker and runs the step unharmed.
+    """
+
+    step: int
+    marker: Optional[str] = None
+    sig: int = 9  # SIGKILL: no atexit, no cleanup — a true fail-stop
+
+    def maybe_fire(self, step_index: int) -> None:
+        """Kill the current process if this is the trigger step and the
+        fault has not fired before (marker-file check-and-set)."""
+        if step_index != self.step:
+            return
+        import os
+
+        if self.marker is not None:
+            try:
+                # O_EXCL create = atomic check-and-set across respawns
+                # (and across racing processes sharing one job dir).
+                fd = os.open(
+                    self.marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.close(fd)
+            except FileExistsError:
+                return
+        os.kill(os.getpid(), self.sig)
 
 
 # ======================================================================

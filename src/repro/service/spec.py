@@ -1,0 +1,325 @@
+"""Job specification: one simulation request, canonicalized and hashed.
+
+A :class:`JobSpec` is the service's unit of work *and* the unit of
+dedup: two requests whose canonical payloads hash the same are the same
+job, and the second is served from the result store without running.
+
+The canonical payload covers exactly the inputs that determine the
+result bits:
+
+* the scenario name and its IC-builder overrides,
+* the step count and the physics configuration (preset, neighbour
+  count, SDC detection),
+* the result-affecting execution knobs (backend, pair engine, Verlet
+  cache and skin — the compiled backends are roundoff-level different,
+  so each is its own cache entry; the pair machinery is proven bitwise
+  but stays in the hash so the cache never has to argue about it),
+* numerical-chaos and guard/autotune settings (they can change state),
+* the running code version (from the ledger's ``code_version`` stamp),
+  so a new commit silently invalidates every cached result.
+
+Deliberately *excluded* — execution-neutral by the parity test suites
+and by construction: ``workers`` / ``chunks_per_worker`` (bitwise-serial
+parity), service-managed paths (checkpoint dirs, ledger/store
+locations), observability settings, and the fault-injection knob
+``kill_at_step`` (recovery is bit-identical, so a killed-and-recovered
+job *should* share its cache line with an unfaulted one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["SpecError", "JobSpec", "canonical_spec_payload"]
+
+#: Names a CLI/HTTP layer may pass as overrides — everything else is an
+#: unknown-spec error (exit code 2 at the CLI boundary).
+_BACKEND_CHOICES = ("numpy", "numba", "cffi", "auto")
+
+
+class SpecError(ValueError):
+    """An invalid job specification (unknown scenario, bad knob, ...).
+
+    The CLI maps this to exit code 2, the socket server to an
+    ``{"error": "bad-spec"}`` reply; neither ever enqueues the job.
+    """
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation request: scenario + typed config overrides.
+
+    ``overrides`` are IC-builder keyword arguments (the scenario's
+    config-dataclass fields, e.g. ``n_target``, ``side``, ``layers``);
+    everything else mirrors a ``repro run`` flag.  Instances are
+    immutable; use :meth:`with_` for variations.
+    """
+
+    scenario: str
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    n_steps: Optional[int] = None  # None -> the scenario's default_steps
+    test: bool = False  # size from the scenario's test_params
+    preset: str = "sph-exa"
+    n_neighbors: Optional[int] = None
+    error_detection: bool = False
+    # Result-affecting execution knobs (hashed):
+    backend: str = "numpy"
+    pair_engine: bool = True
+    neighbor_cache: bool = False
+    cache_skin: float = 0.3
+    guard: bool = False
+    chaos: Optional[str] = None  # parse_numerical_faults() spelling
+    autotune: bool = False
+    autotune_seed: int = 0
+    # Execution-neutral knobs (not hashed):
+    workers: int = 0
+    chunks_per_worker: int = 1
+    #: Service-chaos: SIGKILL the worker process when this step completes
+    #: (fire-once across respawns via a job-dir marker).  Test/validation
+    #: knob; excluded from the hash because recovery is bit-identical.
+    kill_at_step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise SpecError("spec needs a scenario name")
+        if self.backend not in _BACKEND_CHOICES:
+            raise SpecError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {_BACKEND_CHOICES}"
+            )
+        if self.n_steps is not None and self.n_steps < 1:
+            raise SpecError(f"n_steps must be >= 1, got {self.n_steps}")
+        if self.workers < 0:
+            raise SpecError(f"workers must be >= 0, got {self.workers}")
+        if not isinstance(self.overrides, dict):
+            object.__setattr__(self, "overrides", dict(self.overrides))
+
+    # ------------------------------------------------------------------
+    # Resolution against the scenario registry
+    # ------------------------------------------------------------------
+    def resolve(self):
+        """Validate against the registry; returns the Scenario.
+
+        Raises :class:`SpecError` for an unknown scenario, unknown
+        override names, a bad chaos spelling or a size flag the scenario
+        does not accept — every way a request can be malformed, caught
+        before anything is enqueued.
+        """
+        from ..scenarios import UnknownScenarioError, get_scenario
+
+        try:
+            scenario = get_scenario(self.scenario)
+        except UnknownScenarioError as exc:
+            raise SpecError(exc.args[0]) from None
+        known = {f.name for f in fields(scenario.config_type)}
+        unknown = set(self.overrides) - known
+        if unknown:
+            raise SpecError(
+                f"unknown {scenario.name} override(s) "
+                f"{sorted(unknown)}; known: {sorted(known)}"
+            )
+        if self.chaos is not None:
+            from ..resilience.chaos import parse_numerical_faults
+
+            try:
+                parse_numerical_faults(self.chaos)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+        return scenario
+
+    def resolved_steps(self, scenario=None) -> int:
+        if self.n_steps is not None:
+            return int(self.n_steps)
+        if scenario is None:
+            scenario = self.resolve()
+        return int(scenario.default_steps)
+
+    def sim_config(self, scenario=None):
+        """The physics config this spec resolves to (the CLI's merge rule:
+        preset column + the scenario's pinned switches + overrides)."""
+        from ..core.presets import get_preset
+
+        if scenario is None:
+            scenario = self.resolve()
+        try:
+            preset = get_preset(self.preset)
+        except KeyError:
+            raise SpecError(f"unknown preset {self.preset!r}") from None
+        needs = scenario.sim_config
+        config = preset.with_(
+            n_neighbors=(
+                self.n_neighbors
+                if self.n_neighbors is not None
+                else needs.n_neighbors
+            ),
+            timestep_params=needs.timestep_params,
+            viscosity=needs.viscosity,
+        )
+        if self.error_detection:
+            config = config.with_(error_detection=True)
+        return config
+
+    def run_config(
+        self,
+        scenario=None,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        ledger_path: Optional[str] = None,
+    ):
+        """The execution environment this spec resolves to.
+
+        ``checkpoint_dir`` / ``ledger_path`` are *runtime* locations the
+        caller (CLI flag or service job slot) supplies — they are not
+        part of the spec or its hash.
+        """
+        from ..core.config import RunConfig
+        from ..parallel.executor import ExecConfig
+
+        if scenario is None:
+            scenario = self.resolve()
+        run = RunConfig(
+            exec=ExecConfig(
+                workers=self.workers,
+                chunks_per_worker=self.chunks_per_worker,
+                neighbor_cache=self.neighbor_cache,
+                cache_skin=self.cache_skin,
+                pair_engine=self.pair_engine,
+                backend=self.backend,
+            )
+        )
+        if self.guard:
+            from ..resilience.guard import GuardConfig
+
+            run = run.with_(
+                guard=GuardConfig(drift_tolerances=scenario.invariants)
+            )
+        if self.chaos is not None:
+            from ..resilience.chaos import parse_numerical_faults
+
+            run = run.with_(numerical_chaos=parse_numerical_faults(self.chaos))
+        if self.autotune:
+            from ..tuning.autotuner import TuningConfig
+
+            run = run.with_(tuning=TuningConfig(seed=self.autotune_seed))
+        if checkpoint_dir is not None:
+            from ..resilience.checkpoint import ResilienceConfig
+
+            kwargs: Dict[str, Any] = {
+                "checkpoint_dir": checkpoint_dir,
+                "autoresume": True,
+            }
+            if checkpoint_every is not None:
+                kwargs["checkpoint_every"] = checkpoint_every
+            run = run.with_(resilience=ResilienceConfig(**kwargs))
+        if ledger_path is not None:
+            run = run.with_(
+                observability=run.observability.with_(ledger_path=ledger_path)
+            )
+        return run
+
+    # ------------------------------------------------------------------
+    # Canonical payload + content hash
+    # ------------------------------------------------------------------
+    def canonical(self, *, code_version: Optional[str] = None) -> Dict[str, Any]:
+        """The hash-covered payload, resolved and key-sorted.
+
+        ``code_version`` defaults to the running checkout's stamp (the
+        same :func:`repro.observability.ledger.code_version` the run
+        ledger records), so a rebuilt world never serves stale results.
+        """
+        scenario = self.resolve()
+        if code_version is None:
+            from ..observability import ledger as _ledger
+
+            code_version = _ledger.code_version()
+        return {
+            "scenario": scenario.name,
+            "overrides": {k: self.overrides[k] for k in sorted(self.overrides)},
+            "n_steps": self.resolved_steps(scenario),
+            "test": bool(self.test),
+            "preset": self.preset,
+            "n_neighbors": self.n_neighbors,
+            "error_detection": bool(self.error_detection),
+            "backend": self.backend,
+            "pair_engine": bool(self.pair_engine),
+            "neighbor_cache": bool(self.neighbor_cache),
+            "cache_skin": float(self.cache_skin),
+            "guard": bool(self.guard),
+            "chaos": self.chaos,
+            "autotune": bool(self.autotune),
+            "autotune_seed": int(self.autotune_seed),
+            "code_version": code_version,
+        }
+
+    def content_hash(self, *, code_version: Optional[str] = None) -> str:
+        """Stable sha256 over the canonical payload (the cache key)."""
+        payload = canonical_spec_payload(
+            self.canonical(code_version=code_version)
+        )
+        return hashlib.sha256(payload).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Plain-data transport (socket protocol, worker processes)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            f.name: (
+                dict(getattr(self, f.name))
+                if f.name == "overrides"
+                else getattr(self, f.name)
+            )
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec field(s) {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def with_(self, **kwargs) -> "JobSpec":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line human summary (job listings, logs)."""
+        bits = [self.scenario]
+        if self.overrides:
+            bits.append(
+                ",".join(f"{k}={self.overrides[k]}" for k in sorted(self.overrides))
+            )
+        if self.n_steps is not None:
+            bits.append(f"steps={self.n_steps}")
+        if self.backend != "numpy":
+            bits.append(self.backend)
+        if self.guard:
+            bits.append("guard")
+        if self.chaos:
+            bits.append(f"chaos={self.chaos}")
+        return " ".join(bits)
+
+
+def canonical_spec_payload(payload: Mapping[str, Any]) -> bytes:
+    """Deterministic byte serialization of a canonical payload.
+
+    Sorted keys, no whitespace variance, ASCII-only — the encoding is
+    part of the cache contract, so two processes (or two hosts at the
+    same code version) derive identical hashes for identical requests.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+        default=_reject_unstable,
+    ).encode("ascii")
+
+
+def _reject_unstable(obj: Any) -> Any:
+    raise SpecError(
+        f"spec overrides must be JSON-stable scalars/lists/dicts, "
+        f"got {type(obj).__name__}"
+    )

@@ -1,0 +1,132 @@
+"""The redesigned public surface: repro.api, pruned exports, compat."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.service.spec import SpecError
+
+TINY = dict(scenario="sod", n_steps=3, overrides={"n_target": 60})
+
+
+@pytest.fixture
+def private_service():
+    """A fresh in-memory service wired in as the module-level one."""
+    api.shutdown_service()
+    api.configure_service(api.ServiceConfig(isolation="inline"))
+    yield api.service()
+    api.shutdown_service()
+
+
+# --- submit / run equivalence --------------------------------------------
+
+
+def test_submit_and_sync_run_produce_identical_outcomes(private_service):
+    spec = api.JobSpec(**TINY)
+    via_service = api.submit(spec).result(timeout=300)
+    via_sync = api.run(spec)
+    assert via_sync.result_digest == via_service.result_digest
+    assert via_sync.digests == via_service.digests
+    assert via_sync.drift == via_service.drift
+    assert via_sync.steps == via_service.steps
+
+
+def test_sync_run_matches_classic_driver_loop(private_service):
+    """api.run and a hand-built Simulation agree bit-for-bit: the sync
+    wrapper is the same spec -> simulation path, not a reimplementation."""
+    from repro.scenarios import get_scenario
+    from repro.service.runner import field_digests
+
+    outcome = api.run(api.JobSpec(**TINY))
+
+    scenario = get_scenario("sod")
+    sim = scenario.make_simulation(
+        sim_config=api.JobSpec(**TINY).sim_config(scenario),
+        run_config=api.JobSpec(**TINY).run_config(scenario),
+        n_target=60,
+    )
+    sim.run(n_steps=3)
+    try:
+        assert field_digests(sim.particles) == outcome.digests
+    finally:
+        sim.close()
+
+
+def test_submit_accepts_scenario_name_shorthand(private_service):
+    handle = api.submit("sod", n_steps=3, overrides={"n_target": 60})
+    assert handle.result(timeout=300).scenario == "sod"
+
+
+def test_submit_rejects_bad_spec(private_service):
+    with pytest.raises(SpecError):
+        api.submit(api.JobSpec(scenario="nosuch"))
+
+
+def test_configure_after_start_refused(private_service):
+    with pytest.raises(RuntimeError):
+        api.configure_service(api.ServiceConfig())
+
+
+# --- pruned package exports ----------------------------------------------
+
+
+def test_package_all_is_the_redesigned_surface():
+    assert "api" in repro.__all__
+    assert "JobSpec" in repro.__all__
+    assert "Simulation" in repro.__all__
+    # The helper families are no longer advertised...
+    for pruned in ("Tracer", "Octree", "make_square_patch", "PopMetrics"):
+        assert pruned not in repro.__all__
+        # ...but stay importable for compatibility.
+        assert getattr(repro, pruned) is not None
+
+
+def test_lazy_api_exports_resolve():
+    assert repro.JobSpec is api.JobSpec
+    assert repro.submit is api.submit
+    assert repro.api is api
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
+
+
+# --- the documented compat module ----------------------------------------
+
+
+def test_compat_shims_still_work_and_warn_once():
+    from repro.compat import __all__ as compat_all
+    from repro.ics import SquarePatchConfig, make_square_patch
+    from repro.observability.deprecation import reset_deprecation_warnings
+    from repro.parallel.executor import ExecConfig
+
+    assert "resolve_legacy_driver_kwargs" in compat_all
+
+    reset_deprecation_warnings()
+    particles, box, eos = make_square_patch(SquarePatchConfig(side=6, layers=3))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sim = repro.Simulation(
+            particles, box, eos, exec_config=ExecConfig(workers=0)
+        )
+        try:
+            assert sim.run_config.exec.workers == 0
+            sim.pair_engine_stats  # noqa: B018 - deprecated property shim
+        finally:
+            sim.close()
+    messages = [str(w.message) for w in caught]
+    assert any("exec_config" in m for m in messages)
+    assert any("pair_engine_stats" in m for m in messages)
+
+
+def test_compat_rejects_mixing_old_and_new_kwargs():
+    from repro.core.config import RunConfig
+    from repro.ics import SquarePatchConfig, make_square_patch
+    from repro.parallel.executor import ExecConfig
+
+    particles, box, eos = make_square_patch(SquarePatchConfig(side=6, layers=3))
+    with pytest.raises(ValueError, match="not both"):
+        repro.Simulation(
+            particles, box, eos,
+            run_config=RunConfig(), exec_config=ExecConfig(),
+        )

@@ -278,3 +278,102 @@ def test_ledger_missing_db_exits_2(tmp_path, capsys):
     rc = main(["ledger", "--path", str(tmp_path / "absent.db")])
     assert rc == 2
     assert "no ledger" in capsys.readouterr().err
+
+
+# --- the service commands: one spec-parsing path for run and submit ------
+
+
+def test_run_and_submit_share_the_spec_path():
+    """Identical flags parse to identical JobSpecs (same cache line)."""
+    from repro.cli import _spec_from_args
+
+    parser = build_parser()
+    flags = ["sod", "--n", "80", "--steps", "2", "--backend", "numpy",
+             "--guard", "--autotune-seed", "7"]
+    run_spec, _ = _spec_from_args(parser.parse_args(["run", *flags]))
+    submit_spec, _ = _spec_from_args(
+        parser.parse_args(["submit", *flags, "--socket", "/tmp/x.sock"])
+    )
+    assert run_spec == submit_spec
+    assert (run_spec.content_hash(code_version="pinned")
+            == submit_spec.content_hash(code_version="pinned"))
+
+
+def test_submit_unknown_scenario_exits_2(capsys):
+    rc = main(["submit", "nosuch", "--socket", "/tmp/absent.sock"])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_submit_bad_size_flag_exits_2(capsys):
+    rc = main(["submit", "sod", "--side", "4",
+               "--socket", "/tmp/absent.sock"])
+    assert rc == 2
+    assert "--side/--layers" in capsys.readouterr().err
+
+
+def test_submit_unreachable_server_exits_1(tmp_path, capsys):
+    rc = main(["submit", "sod", "--steps", "1",
+               "--socket", str(tmp_path / "absent.sock")])
+    assert rc == 1
+    assert "cannot reach server" in capsys.readouterr().err
+
+
+def test_serve_refuses_existing_socket_path(tmp_path, capsys):
+    existing = tmp_path / "taken.sock"
+    existing.touch()
+    rc = main(["serve", "--socket", str(existing)])
+    assert rc == 2
+    assert "already exists" in capsys.readouterr().err
+
+
+def test_serve_submit_jobs_end_to_end(tmp_path, capsys):
+    """A live server: run once, second submit is a cache hit."""
+    import threading
+
+    from repro.cli import _cmd_serve
+    from repro.service.server import client_request
+
+    sock = str(tmp_path / "svc.sock")
+    parser = build_parser()
+    serve_args = parser.parse_args(
+        ["serve", "--socket", sock, "--isolation", "inline",
+         "--workers", "2", "--store", str(tmp_path / "results.db")]
+    )
+    server = threading.Thread(
+        target=_cmd_serve, args=(serve_args,), daemon=True
+    )
+    server.start()
+    deadline = 50
+    import os
+    import time
+    while not os.path.exists(sock) and deadline:
+        time.sleep(0.1)
+        deadline -= 1
+    assert os.path.exists(sock), "server socket never appeared"
+    capsys.readouterr()
+
+    flags = ["submit", "sod", "--n", "60", "--steps", "2",
+             "--socket", sock]
+    try:
+        assert main(flags) == 0
+        first = capsys.readouterr().out
+        assert "done (run):" in first
+
+        assert main(flags) == 0
+        second = capsys.readouterr().out
+        assert "done (cache):" in second
+        # Same digest served from the store.
+        digest = first.splitlines()[-1].split("digest ")[1]
+        assert digest in second
+
+        assert main(["jobs", "--socket", sock]) == 0
+        table = capsys.readouterr().out
+        assert "cache" in table and "run" in table
+
+        assert main(["jobs", "--socket", sock, "--stats"]) == 0
+        stats = capsys.readouterr().out
+        assert "cache_hits: 1" in stats
+    finally:
+        client_request(sock, {"op": "shutdown"})
+        server.join(timeout=10)

@@ -1,0 +1,345 @@
+"""The service layer: dedup cache, queue, events, recovery, hashing."""
+
+import asyncio
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import (
+    FairShareQueue,
+    JobSpec,
+    LocalService,
+    QueueFullError,
+    ResultStore,
+    ServiceConfig,
+    ServiceManager,
+    SpecError,
+    execute_spec,
+)
+from repro.service.manager import JobState
+
+TINY = dict(scenario="sod", n_steps=3, overrides={"n_target": 60})
+
+
+def tiny_spec(**kwargs) -> JobSpec:
+    merged = dict(TINY)
+    merged.update(kwargs)
+    return JobSpec(**merged)
+
+
+def inline_service(**kwargs) -> LocalService:
+    defaults = dict(isolation="inline", max_workers=2)
+    defaults.update(kwargs)
+    return LocalService(ServiceConfig(**defaults))
+
+
+# --- JobSpec canonicalization & hashing ----------------------------------
+
+
+def test_content_hash_is_stable_for_equal_specs():
+    a = tiny_spec().content_hash(code_version="pinned")
+    b = tiny_spec().content_hash(code_version="pinned")
+    assert a == b
+
+
+def test_content_hash_covers_result_affecting_knobs():
+    base = tiny_spec().content_hash(code_version="pinned")
+    for variation in (
+        tiny_spec(n_steps=4),
+        tiny_spec(overrides={"n_target": 80}),
+        tiny_spec(preset="sphynx"),
+        tiny_spec(guard=True),
+        tiny_spec(chaos="nan:rho@2"),
+    ):
+        assert variation.content_hash(code_version="pinned") != base
+
+
+def test_content_hash_ignores_execution_neutral_knobs():
+    base = tiny_spec().content_hash(code_version="pinned")
+    assert tiny_spec(workers=2).content_hash(code_version="pinned") == base
+    assert tiny_spec(kill_at_step=1).content_hash(code_version="pinned") == base
+
+
+def test_content_hash_changes_with_code_version(monkeypatch):
+    import repro.observability.ledger as ledger_mod
+
+    monkeypatch.setattr(ledger_mod, "code_version", lambda: "v-one")
+    first = tiny_spec().content_hash()
+    monkeypatch.setattr(ledger_mod, "code_version", lambda: "v-two")
+    assert tiny_spec().content_hash() != first
+
+
+def test_content_hash_stable_across_processes():
+    """The cache key must not depend on process state (hash seeds, dict
+    order): a fresh interpreter derives the same hash."""
+    spec = tiny_spec()
+    program = (
+        "from repro.service import JobSpec;"
+        f"print(JobSpec(**{json.dumps(dict(TINY))}).content_hash("
+        "code_version='pinned'))"
+    )
+    hashes = {
+        subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        for _ in range(2)
+    }
+    assert hashes == {spec.content_hash(code_version="pinned")}
+
+
+def test_spec_rejects_unknown_scenario_and_override():
+    with pytest.raises(SpecError):
+        JobSpec(scenario="nosuch").resolve()
+    with pytest.raises(SpecError):
+        JobSpec(scenario="sod", overrides={"bogus_knob": 1}).resolve()
+    with pytest.raises(SpecError):
+        JobSpec(scenario="sod", chaos="not-a-chaos-spec").resolve()
+
+
+# --- ResultStore ----------------------------------------------------------
+
+
+def test_store_roundtrip_and_first_writer_wins(tmp_path):
+    with ResultStore(tmp_path / "results.db") as store:
+        outcome = {
+            "run_id": "r1", "scenario": "sod", "code_version": "v",
+            "steps": 3, "result_digest": "d1",
+        }
+        assert store.put("hash-a", outcome)
+        assert not store.put("hash-a", {**outcome, "run_id": "r2"})
+        got = store.get("hash-a")
+        assert got.run_id == "r1"
+        assert got.outcome["result_digest"] == "d1"
+        assert store.get("hash-missing") is None
+        assert len(store) == 1
+
+
+def test_store_survives_reopen(tmp_path):
+    path = tmp_path / "results.db"
+    with ResultStore(path) as store:
+        store.put("h", {"run_id": "r", "scenario": "s", "code_version": "v",
+                        "steps": 1, "result_digest": "d"})
+    with ResultStore(path) as store:
+        assert store.get("h").run_id == "r"
+
+
+# --- FairShareQueue -------------------------------------------------------
+
+
+def test_queue_backpressure_rejects_with_retry_after():
+    async def scenario():
+        q = FairShareQueue(capacity=2)
+        q.put_nowait("a", tenant="t1")
+        q.put_nowait("b", tenant="t2")
+        with pytest.raises(QueueFullError) as exc:
+            q.put_nowait("c", tenant="t1", retry_after=2.5)
+        assert exc.value.retry_after == 2.5
+        assert exc.value.depth == 2
+
+    asyncio.run(scenario())
+
+
+def test_queue_round_robin_is_fair_across_tenants():
+    async def scenario():
+        q = FairShareQueue(capacity=10)
+        for i in range(3):
+            q.put_nowait(f"hog-{i}", tenant="hog")
+        q.put_nowait("small-0", tenant="small")
+        order = [q.get_nowait() for _ in range(4)]
+        # The single-job tenant is served second, not after the hog drains.
+        assert order.index("small-0") == 1
+
+    asyncio.run(scenario())
+
+
+# --- Dedup / coalescing / backpressure through the manager ----------------
+
+
+def test_same_spec_twice_runs_once_and_serves_cache():
+    svc = inline_service()
+    try:
+        first = svc.submit(tiny_spec()).result(timeout=300)
+        second = svc.submit(tiny_spec()).result(timeout=60)
+        assert first.cached is False
+        assert second.cached is True
+        assert second.result_digest == first.result_digest
+        assert second.digests == first.digests
+        assert second.run_id == first.run_id  # the originating run's id
+        stats = svc.stats()
+        assert stats["executed"] == 1
+        assert stats["cache_hits"] == 1
+    finally:
+        svc.close()
+
+
+def test_cache_hit_is_bit_identical_to_stored_record():
+    svc = inline_service()
+    try:
+        first = svc.submit(tiny_spec()).result(timeout=300)
+        stored = svc.manager.store.get(tiny_spec().content_hash())
+        assert stored is not None
+        # The store's raw JSON round-trips to exactly the outcome served.
+        assert json.loads(stored.raw)["report"] == first.report
+        assert stored.result_digest == first.result_digest
+    finally:
+        svc.close()
+
+
+def test_code_version_change_invalidates_cache(monkeypatch):
+    import repro.observability.ledger as ledger_mod
+
+    real_version = ledger_mod.code_version
+    svc = inline_service()
+    try:
+        svc.submit(tiny_spec()).result(timeout=300)
+        monkeypatch.setattr(
+            ledger_mod, "code_version", lambda: real_version() + "-rebuilt"
+        )
+        second = svc.submit(tiny_spec()).result(timeout=300)
+        assert second.cached is False  # new code version -> new cache line
+        assert svc.stats()["executed"] == 2
+    finally:
+        svc.close()
+
+
+def test_identical_inflight_submissions_coalesce():
+    async def scenario():
+        manager = ServiceManager(ServiceConfig(isolation="inline"))
+        # No workers started: both submissions stay queued, so the second
+        # deterministically coalesces onto the first's job.
+        h1 = await manager.submit(tiny_spec())
+        h2 = await manager.submit(tiny_spec())
+        assert h1.job_id == h2.job_id
+        assert manager.stats["coalesced"] == 1
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+def test_manager_backpressure_rejects_beyond_capacity():
+    async def scenario():
+        manager = ServiceManager(
+            ServiceConfig(isolation="inline", queue_capacity=2)
+        )
+        await manager.submit(tiny_spec(n_steps=3))
+        await manager.submit(tiny_spec(n_steps=4))
+        with pytest.raises(QueueFullError) as exc:
+            await manager.submit(tiny_spec(n_steps=5))
+        assert exc.value.retry_after > 0
+        assert manager.stats["rejected"] == 1
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+# --- Event fan-out --------------------------------------------------------
+
+
+def test_subscribers_see_identical_ordered_event_streams():
+    async def scenario():
+        manager = ServiceManager(ServiceConfig(isolation="inline"))
+        await manager.start()
+        handle = await manager.submit(tiny_spec())
+
+        async def collect():
+            return [
+                (e.seq, e.type) async for e in handle.events()
+            ]
+
+        early, late = await asyncio.gather(collect(), collect())
+        assert early == late
+        types = [t for _, t in early]
+        assert types[0] == "queued"
+        assert types[1] == "started"
+        assert types[-1] == "done"
+        assert types.count("step") == 3  # one per simulated step
+        seqs = [s for s, _ in early]
+        assert seqs == sorted(seqs)
+        # A subscriber attaching after completion still replays history.
+        replay = [(e.seq, e.type) async for e in handle.events()]
+        assert replay == early
+        await manager.close()
+
+    asyncio.run(scenario())
+
+
+# --- Worker death / recovery ---------------------------------------------
+
+
+@pytest.mark.slow
+def test_killed_worker_recovers_and_matches_unfaulted_digest(tmp_path):
+    baseline = execute_spec(tiny_spec(n_steps=4))
+    svc = LocalService(
+        ServiceConfig(
+            isolation="process",
+            max_workers=1,
+            jobs_dir=str(tmp_path / "jobs"),
+        )
+    )
+    try:
+        handle = svc.submit(tiny_spec(n_steps=4, kill_at_step=2))
+        outcome = handle.result(timeout=600)
+        status = handle.status()
+        assert outcome.recoveries == 1
+        # RUNNING -> RECOVERED -> RUNNING -> DONE, never restarted.
+        assert status["state_history"] == [
+            JobState.RUNNING, JobState.RECOVERED,
+            JobState.RUNNING, JobState.DONE,
+        ]
+        assert outcome.result_digest == baseline.result_digest
+        event_types = [e.type for e in svc.handle(handle.job_id).events()]
+        assert "recovered" in event_types
+        assert event_types[-1] == "done"
+    finally:
+        svc.close()
+
+
+# --- Ledger / store agreement (the phantom-row fix) -----------------------
+
+
+def test_executed_job_ledger_row_matches_outcome_run_id(tmp_path):
+    from repro.observability.ledger import RunLedger
+
+    ledger_path = tmp_path / "ledger.db"
+    svc = inline_service(ledger_path=str(ledger_path))
+    try:
+        first = svc.submit(tiny_spec()).result(timeout=300)
+        second = svc.submit(tiny_spec()).result(timeout=60)
+        assert second.cached
+    finally:
+        svc.close()
+    with RunLedger(ledger_path) as ledger:
+        rows = ledger.runs()
+        # One execution -> exactly one row; the cache hit wrote nothing.
+        assert len(rows) == 1
+        assert rows[0].run_id == first.run_id == second.run_id
+
+
+def test_resume_without_stepping_writes_no_ledger_row(tmp_path):
+    """A driver that restores a checkpoint but never advances must not
+    append a ledger row on close (the phantom-row fix)."""
+    from repro.observability.ledger import RunLedger
+    from repro.service.runner import build_simulation
+
+    ledger_path = str(tmp_path / "ledger.db")
+    job_dir = str(tmp_path / "ckpt")
+    spec = tiny_spec()
+    sim, scenario = build_simulation(
+        spec, checkpoint_dir=job_dir, checkpoint_every=1,
+        ledger_path=ledger_path,
+    )
+    sim.run(n_steps=3)
+    sim.close()
+    # Second driver: restore only, zero steps executed.
+    sim2, _ = build_simulation(
+        spec, checkpoint_dir=job_dir, checkpoint_every=1,
+        ledger_path=ledger_path,
+    )
+    assert sim2.resume()
+    assert sim2.step_index == 3
+    sim2.close()
+    with RunLedger(ledger_path) as ledger:
+        assert len(ledger.runs()) == 1
